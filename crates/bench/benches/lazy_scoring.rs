@@ -1,0 +1,52 @@
+//! Table I (timing columns): full training-step cost under lazy-scoring
+//! intervals. The ratio of each interval's time to the `no_scoring`
+//! baseline is the paper's "Relative Batch Time".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdc_bench::{bench_stream, bench_trainer_config};
+use sdc_core::policy::{ContrastScoringPolicy, RandomReplacePolicy};
+use sdc_core::trainer::StreamTrainer;
+use sdc_core::LazySchedule;
+
+fn bench_lazy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+
+    // Baseline: a policy with no scoring at all (random replacement).
+    group.bench_function("no_scoring", |bch| {
+        let mut trainer =
+            StreamTrainer::new(bench_trainer_config(16), Box::new(RandomReplacePolicy::new(0)));
+        let mut stream = bench_stream(16, 0);
+        bch.iter(|| {
+            let seg = stream.next_segment(16).unwrap();
+            trainer.step(seg).unwrap()
+        });
+    });
+
+    for interval in [None, Some(4u32), Some(20), Some(50), Some(100), Some(200)] {
+        let schedule = interval.map_or(LazySchedule::disabled(), LazySchedule::every);
+        let label = interval.map_or("disabled".to_string(), |t| t.to_string());
+        group.bench_with_input(
+            BenchmarkId::new("lazy_interval", label),
+            &schedule,
+            |bch, &schedule| {
+                let mut trainer = StreamTrainer::new(
+                    bench_trainer_config(16),
+                    Box::new(ContrastScoringPolicy::with_schedule(schedule)),
+                );
+                let mut stream = bench_stream(16, 0);
+                bch.iter(|| {
+                    let seg = stream.next_segment(16).unwrap();
+                    trainer.step(seg).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_lazy
+}
+criterion_main!(benches);

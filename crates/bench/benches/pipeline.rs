@@ -1,0 +1,32 @@
+//! End-to-end pipeline benches: full training step across buffer sizes
+//! (Table II's cost axis) and the scoring-vs-update split.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdc_bench::{bench_stream, bench_trainer_config};
+use sdc_core::policy::ContrastScoringPolicy;
+use sdc_core::trainer::StreamTrainer;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_step_by_buffer");
+    for &buffer in &[4usize, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(buffer), &buffer, |bch, &buffer| {
+            let mut trainer = StreamTrainer::new(
+                bench_trainer_config(buffer),
+                Box::new(ContrastScoringPolicy::new()),
+            );
+            let mut stream = bench_stream(buffer, 0);
+            bch.iter(|| {
+                let seg = stream.next_segment(buffer).unwrap();
+                trainer.step(seg).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Replacement cost of every policy on the same candidate pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdc_bench::{bench_model, bench_samples};
+use sdc_core::policy::{
+    ContrastScoringPolicy, FifoReplacePolicy, KCenterPolicy, RandomReplacePolicy,
+    ReplacementPolicy, SelectiveBackpropPolicy,
+};
+use sdc_core::ReplayBuffer;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_replace");
+    let make: Vec<(&str, fn() -> Box<dyn ReplacementPolicy>)> = vec![
+        ("contrast", || Box::new(ContrastScoringPolicy::new())),
+        ("random", || Box::new(RandomReplacePolicy::new(0))),
+        ("fifo", || Box::new(FifoReplacePolicy::new())),
+        ("selective_bp", || Box::new(SelectiveBackpropPolicy::new(0.5))),
+        ("k_center", || Box::new(KCenterPolicy::new())),
+    ];
+    for (name, factory) in make {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |bch, ()| {
+            let mut model = bench_model();
+            let mut policy = factory();
+            let mut buffer = ReplayBuffer::new(16);
+            // Warm the buffer once; each iteration replaces with a fresh
+            // segment, as in training.
+            policy.replace(&mut model, &mut buffer, bench_samples(16, 0)).unwrap();
+            let mut seed = 1u64;
+            bch.iter(|| {
+                seed += 1;
+                policy.replace(&mut model, &mut buffer, bench_samples(16, seed)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_policies
+}
+criterion_main!(benches);

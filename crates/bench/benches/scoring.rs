@@ -1,0 +1,26 @@
+//! Contrast-scoring cost as a function of candidate-set size — the raw
+//! overhead the lazy schedule amortizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdc_bench::{bench_model, bench_samples};
+use sdc_core::score::contrast_scores;
+use std::hint::black_box;
+
+fn bench_scoring(c: &mut Criterion) {
+    let mut model = bench_model();
+    let mut group = c.benchmark_group("contrast_scores");
+    for &n in &[8usize, 16, 32, 64] {
+        let samples = bench_samples(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &samples, |bch, s| {
+            bch.iter(|| contrast_scores(&mut model, black_box(s)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_scoring
+}
+criterion_main!(benches);

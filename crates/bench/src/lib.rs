@@ -1,0 +1,59 @@
+//! # sdc-bench
+//!
+//! Shared fixtures for the Criterion micro-benchmarks. The benches back
+//! the paper's runtime claims: scoring overhead per batch (Table I's
+//! "Relative Batch Time" column), the lazy-scoring reduction, and the
+//! per-policy replacement cost.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdc_core::model::{ContrastiveModel, ModelConfig};
+use sdc_core::trainer::TrainerConfig;
+use sdc_data::stream::TemporalStream;
+use sdc_data::synth::{SynthConfig, SynthDataset};
+use sdc_data::Sample;
+use sdc_nn::models::EncoderConfig;
+use sdc_tensor::Tensor;
+
+/// A small but non-trivial model for benchmarking.
+pub fn bench_model() -> ContrastiveModel {
+    ContrastiveModel::new(&ModelConfig {
+        encoder: EncoderConfig::small(),
+        projection_hidden: 64,
+        projection_dim: 32,
+        seed: 0,
+    })
+}
+
+/// The trainer configuration used by the pipeline benches.
+pub fn bench_trainer_config(buffer_size: usize) -> TrainerConfig {
+    TrainerConfig {
+        buffer_size,
+        temperature: 0.5,
+        learning_rate: 1e-3,
+        weight_decay: 1e-4,
+        model: ModelConfig {
+            encoder: EncoderConfig::small(),
+            projection_hidden: 64,
+            projection_dim: 32,
+            seed: 0,
+        },
+        seed: 0,
+    }
+}
+
+/// A benchmark stream over the default synthetic world.
+pub fn bench_stream(stc: usize, seed: u64) -> TemporalStream {
+    let ds = SynthDataset::new(SynthConfig::default());
+    TemporalStream::new(ds, stc, seed)
+}
+
+/// Random image samples of the default benchmark geometry.
+pub fn bench_samples(n: usize, seed: u64) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| Sample::new(Tensor::randn([3, 12, 12], 1.0, &mut rng), 0, i as u64))
+        .collect()
+}

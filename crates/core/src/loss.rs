@@ -1,0 +1,172 @@
+//! The NT-Xent contrastive loss (paper Eq. (1)) and per-sample variants.
+
+use sdc_tensor::ops::matmul::matmul_nt;
+use sdc_tensor::{Graph, Result, Tensor, TensorError, VarId};
+
+/// Builds the NT-Xent loss over two *already ℓ2-normalized* latent
+/// batches `z1, z2` of shape `(n, d)` where `z1[i]` and `z2[i]` are the
+/// positive pair (paper Eq. (1)).
+///
+/// The 2n×2n similarity matrix is scaled by `1/temperature`, the diagonal
+/// is masked out, and each row's cross-entropy targets its positive
+/// partner (`i ↔ i+n`). Returns a scalar loss node.
+///
+/// # Errors
+///
+/// Returns an error if the shapes are not matching rank-2 batches.
+pub fn nt_xent_loss(g: &mut Graph, z1: VarId, z2: VarId, temperature: f32) -> Result<VarId> {
+    if temperature <= 0.0 {
+        return Err(TensorError::InvalidArgument {
+            op: "nt_xent_loss",
+            message: format!("temperature must be positive, got {temperature}"),
+        });
+    }
+    let (n, _) = g
+        .value(z1)
+        .shape()
+        .as_matrix()
+        .ok_or_else(|| TensorError::RankMismatch {
+            op: "nt_xent_loss",
+            expected: 2,
+            actual: g.value(z1).shape().clone(),
+        })?;
+    let z = g.concat0(z1, z2)?;
+    let sim = g.matmul_nt(z, z)?;
+    let scaled = g.scale(sim, 1.0 / temperature);
+    let m = 2 * n;
+    let diag: Vec<bool> = (0..m * m).map(|i| i / m == i % m).collect();
+    let masked = g.masked_fill(scaled, diag, -1e9)?;
+    let logp = g.log_softmax(masked)?;
+    let targets: Vec<usize> = (0..m).map(|i| (i + n) % m).collect();
+    g.nll_loss(logp, targets)
+}
+
+/// Value-level per-sample NT-Xent losses for a set of *normalized* view
+/// pairs, without building an autodiff graph. Returns
+/// `ℓ(i) = (ℓ_{i,i⁺} + ℓ_{i⁺,i}) / 2` for each of the `n` pairs.
+///
+/// Used by the Selective-Backprop baseline, which ranks candidates by
+/// their current training loss.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatches.
+pub fn per_sample_nt_xent(z1: &Tensor, z2: &Tensor, temperature: f32) -> Result<Vec<f32>> {
+    let (n, d) = z1.shape().as_matrix().ok_or_else(|| TensorError::RankMismatch {
+        op: "per_sample_nt_xent",
+        expected: 2,
+        actual: z1.shape().clone(),
+    })?;
+    if z1.shape() != z2.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "per_sample_nt_xent",
+            lhs: z1.shape().clone(),
+            rhs: z2.shape().clone(),
+        });
+    }
+    let mut data = Vec::with_capacity(2 * n * d);
+    data.extend_from_slice(z1.data());
+    data.extend_from_slice(z2.data());
+    let z = Tensor::from_vec([2 * n, d], data)?;
+    let sim = matmul_nt(&z, &z)?;
+    let m = 2 * n;
+    let sd = sim.data();
+    let row_loss = |i: usize, pos: usize| -> f32 {
+        let row = &sd[i * m..(i + 1) * m];
+        let mut max = f32::NEG_INFINITY;
+        for (j, &v) in row.iter().enumerate() {
+            if j != i {
+                max = max.max(v / temperature);
+            }
+        }
+        let mut sum = 0.0;
+        for (j, &v) in row.iter().enumerate() {
+            if j != i {
+                sum += ((v / temperature) - max).exp();
+            }
+        }
+        -(((row[pos] / temperature) - max) - sum.ln())
+    };
+    Ok((0..n).map(|i| 0.5 * (row_loss(i, i + n) + row_loss(i + n, i))).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sdc_tensor::ops::norm::l2_normalize_rows_forward;
+
+    fn normalized(shape: [usize; 2], seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let raw = Tensor::randn(shape, 1.0, &mut rng);
+        l2_normalize_rows_forward(&raw, 1e-12).unwrap().0
+    }
+
+    #[test]
+    fn loss_is_low_for_aligned_pairs() {
+        // If both views are identical and pairs are far apart, the loss
+        // should be near its floor.
+        let z = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let mut g = Graph::new();
+        let a = g.leaf(z.clone());
+        let b = g.leaf(z);
+        let loss_aligned = nt_xent_loss(&mut g, a, b, 0.1).unwrap();
+        let aligned = g.value(loss_aligned).item();
+
+        // Misaligned positives (orthogonal views) lose.
+        let z1 = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let z2 = Tensor::from_vec([2, 2], vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let mut g2 = Graph::new();
+        let a2 = g2.leaf(z1);
+        let b2 = g2.leaf(z2);
+        let loss_mis = nt_xent_loss(&mut g2, a2, b2, 0.1).unwrap();
+        assert!(aligned < g2.value(loss_mis).item());
+    }
+
+    #[test]
+    fn loss_gradient_flows_to_both_views() {
+        let mut g = Graph::new();
+        let a = g.leaf(normalized([4, 8], 1));
+        let b = g.leaf(normalized([4, 8], 2));
+        let loss = nt_xent_loss(&mut g, a, b, 0.5).unwrap();
+        g.backward(loss).unwrap();
+        assert!(g.grad(a).unwrap().norm() > 0.0);
+        assert!(g.grad(b).unwrap().norm() > 0.0);
+    }
+
+    #[test]
+    fn invalid_temperature_is_rejected() {
+        let mut g = Graph::new();
+        let a = g.leaf(normalized([2, 4], 3));
+        let b = g.leaf(normalized([2, 4], 4));
+        assert!(nt_xent_loss(&mut g, a, b, 0.0).is_err());
+        assert!(nt_xent_loss(&mut g, a, b, -1.0).is_err());
+    }
+
+    #[test]
+    fn per_sample_losses_mean_matches_graph_loss() {
+        let z1 = normalized([5, 6], 5);
+        let z2 = normalized([5, 6], 6);
+        let per = per_sample_nt_xent(&z1, &z2, 0.5).unwrap();
+        let mean_per: f32 = per.iter().sum::<f32>() / per.len() as f32;
+        let mut g = Graph::new();
+        let a = g.leaf(z1);
+        let b = g.leaf(z2);
+        let loss = nt_xent_loss(&mut g, a, b, 0.5).unwrap();
+        let graph_loss = g.value(loss).item();
+        assert!(
+            (mean_per - graph_loss).abs() < 1e-4,
+            "per-sample mean {mean_per} vs graph {graph_loss}"
+        );
+    }
+
+    #[test]
+    fn per_sample_loss_is_higher_for_misaligned_pair() {
+        // Pair 0 aligned, pair 1 orthogonal: loss(1) > loss(0).
+        let z1 = Tensor::from_vec([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let z2 = Tensor::from_vec([2, 2], vec![1.0, 0.0, 1.0, 0.0]).unwrap();
+        let per = per_sample_nt_xent(&z1, &z2, 0.2).unwrap();
+        assert!(per[1] > per[0], "{per:?}");
+    }
+}

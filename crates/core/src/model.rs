@@ -1,0 +1,176 @@
+//! The contrastive model: encoder + projection head over one parameter
+//! store.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdc_nn::models::{EncoderConfig, ProjectionHead, ResNetEncoder};
+use sdc_nn::{Bindings, Forward, Module, ParamStore};
+use sdc_tensor::{Graph, Result, Tensor};
+
+/// Configuration of a [`ContrastiveModel`].
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Encoder architecture.
+    pub encoder: EncoderConfig,
+    /// Projection head hidden width.
+    pub projection_hidden: usize,
+    /// Latent dimension the contrastive loss operates in.
+    pub projection_dim: usize,
+    /// Seed for weight initialization.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self { encoder: EncoderConfig::small(), projection_hidden: 64, projection_dim: 32, seed: 0 }
+    }
+}
+
+/// Disjoint borrows of a [`ContrastiveModel`] for building training
+/// graphs (see [`ContrastiveModel::parts_mut`]).
+#[derive(Debug)]
+pub struct ModelParts<'a> {
+    /// The encoder `f(·)`.
+    pub encoder: &'a ResNetEncoder,
+    /// The projection head `g(·)`.
+    pub projector: &'a ProjectionHead,
+    /// The shared parameter store, mutable for running-stat updates.
+    pub store: &'a mut ParamStore,
+}
+
+/// Encoder `f(·)` plus projection head `g(·)` sharing a [`ParamStore`] —
+/// the model Stage 1 trains on the unlabeled stream.
+#[derive(Debug)]
+pub struct ContrastiveModel {
+    /// Parameters and running statistics of both sub-models.
+    pub store: ParamStore,
+    encoder: ResNetEncoder,
+    projector: ProjectionHead,
+}
+
+impl ContrastiveModel {
+    /// Builds a freshly initialized model.
+    pub fn new(config: &ModelConfig) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let encoder = ResNetEncoder::new(&mut store, config.encoder.clone(), &mut rng);
+        let projector = ProjectionHead::new(
+            &mut store,
+            encoder.feature_dim(),
+            config.projection_hidden,
+            config.projection_dim,
+            &mut rng,
+        );
+        Self { store, encoder, projector }
+    }
+
+    /// Encoder output dimension.
+    pub fn feature_dim(&self) -> usize {
+        self.encoder.feature_dim()
+    }
+
+    /// Latent (projection) dimension.
+    pub fn projection_dim(&self) -> usize {
+        self.projector.out_dim()
+    }
+
+    /// Splits the model into disjoint borrows so a caller can build a
+    /// training graph: the (immutable) sub-modules plus the mutable
+    /// parameter store a [`Forward`] context needs.
+    pub fn parts_mut(&mut self) -> ModelParts<'_> {
+        ModelParts {
+            encoder: &self.encoder,
+            projector: &self.projector,
+            store: &mut self.store,
+        }
+    }
+
+    /// Inference-only projection: maps an image batch `(n, c, h, w)` to
+    /// ℓ2-normalized latent vectors `(n, projection_dim)`.
+    ///
+    /// Always runs in evaluation mode (running batch-norm statistics, no
+    /// state mutation), which keeps the result deterministic — the
+    /// property the contrast score relies on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying modules.
+    pub fn project(&mut self, images: &Tensor) -> Result<Tensor> {
+        let mut graph = Graph::new();
+        let mut bindings = Bindings::new();
+        let mut ctx = Forward::new(&mut graph, &mut self.store, &mut bindings, false);
+        let x = ctx.graph.leaf(images.clone());
+        let h = self.encoder.forward(&mut ctx, x)?;
+        let z = self.projector.forward(&mut ctx, h)?;
+        let zn = ctx.graph.l2_normalize_rows(z)?;
+        Ok(graph.value(zn).clone())
+    }
+
+    /// Inference-only feature extraction: `(n, c, h, w)` images to
+    /// `(n, feature_dim)` encoder features `h = f(x)` (evaluation mode).
+    /// This is what Stage 2 trains the classifier on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying modules.
+    pub fn features(&mut self, images: &Tensor) -> Result<Tensor> {
+        let mut graph = Graph::new();
+        let mut bindings = Bindings::new();
+        let mut ctx = Forward::new(&mut graph, &mut self.store, &mut bindings, false);
+        let x = ctx.graph.leaf(images.clone());
+        let h = self.encoder.forward(&mut ctx, x)?;
+        Ok(graph.value(h).clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> ContrastiveModel {
+        ContrastiveModel::new(&ModelConfig {
+            encoder: EncoderConfig::tiny(),
+            projection_hidden: 8,
+            projection_dim: 4,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn projection_is_normalized() {
+        let mut model = tiny_model();
+        let mut rng = StdRng::seed_from_u64(2);
+        let images = Tensor::randn([3, 3, 8, 8], 1.0, &mut rng);
+        let z = model.project(&images).unwrap();
+        assert_eq!(z.shape().dims(), &[3, 4]);
+        for i in 0..3 {
+            let n: f32 = z.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-5, "row {i} norm {n}");
+        }
+    }
+
+    #[test]
+    fn projection_is_deterministic() {
+        let mut model = tiny_model();
+        let mut rng = StdRng::seed_from_u64(3);
+        let images = Tensor::randn([2, 3, 8, 8], 1.0, &mut rng);
+        let a = model.project(&images).unwrap();
+        let b = model.project(&images).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn features_have_encoder_dim() {
+        let mut model = tiny_model();
+        let images = Tensor::zeros([2, 3, 8, 8]);
+        let h = model.features(&images).unwrap();
+        assert_eq!(h.shape().dims(), &[2, model.feature_dim()]);
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = tiny_model();
+        let b = tiny_model();
+        assert_eq!(a.store.params()[0].value, b.store.params()[0].value);
+    }
+}

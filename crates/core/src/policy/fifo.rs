@@ -1,0 +1,90 @@
+//! FIFO replacement baseline (paper §IV-A).
+
+use sdc_data::Sample;
+use sdc_tensor::Result;
+
+use super::{ReplacementOutcome, ReplacementPolicy};
+use crate::buffer::{BufferEntry, ReplayBuffer};
+use crate::model::ContrastiveModel;
+
+/// Replaces the oldest buffered data with the new segment: the buffer
+/// always holds the most recent `N` stream items. With `|I| = |B|` (the
+/// paper's setting) the buffer is fully refreshed every iteration, which
+/// is exactly why FIFO forgets under temporal correlation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoReplacePolicy;
+
+impl FifoReplacePolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl ReplacementPolicy for FifoReplacePolicy {
+    fn name(&self) -> &'static str {
+        "FIFO Replace"
+    }
+
+    fn replace(
+        &mut self,
+        _model: &mut ContrastiveModel,
+        buffer: &mut ReplayBuffer,
+        incoming: Vec<Sample>,
+    ) -> Result<ReplacementOutcome> {
+        let buffer_len_before = buffer.len();
+        buffer.tick_ages();
+        let mut candidates: Vec<BufferEntry> = buffer.drain();
+        candidates.extend(incoming.into_iter().map(|s| BufferEntry::new(s, 0.0)));
+        let total = candidates.len();
+        // Newest-first by stream id; ids are monotone stream positions.
+        candidates.sort_by(|a, b| b.sample.id.cmp(&a.sample.id));
+        let keep = buffer.capacity().min(total);
+        let selected: Vec<BufferEntry> = candidates.into_iter().take(keep).collect();
+        let retained_from_buffer = selected.iter().filter(|e| e.age > 0).count();
+        buffer.replace_all(selected);
+        Ok(ReplacementOutcome {
+            candidates: total,
+            rescored_buffer: 0,
+            buffer_len_before,
+            retained_from_buffer,
+            scoring_forward_samples: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_support::{check_policy_invariants, make_samples, tiny_model};
+
+    #[test]
+    fn upholds_policy_invariants() {
+        check_policy_invariants(&mut FifoReplacePolicy::new());
+    }
+
+    #[test]
+    fn full_segment_fully_refreshes_buffer() {
+        // |I| = |B|: after one step, only new ids remain.
+        let mut model = tiny_model();
+        let mut policy = FifoReplacePolicy::new();
+        let mut buffer = ReplayBuffer::new(4);
+        policy.replace(&mut model, &mut buffer, make_samples(4, 0, 0, 1)).unwrap();
+        let out = policy.replace(&mut model, &mut buffer, make_samples(4, 1, 100, 2)).unwrap();
+        assert_eq!(out.retained_from_buffer, 0);
+        assert!(buffer.entries().iter().all(|e| e.sample.id >= 100));
+    }
+
+    #[test]
+    fn partial_segment_keeps_newest_old_entries() {
+        let mut model = tiny_model();
+        let mut policy = FifoReplacePolicy::new();
+        let mut buffer = ReplayBuffer::new(4);
+        policy.replace(&mut model, &mut buffer, make_samples(4, 0, 0, 3)).unwrap();
+        // Only 2 new items: the 2 oldest (ids 0, 1) must be evicted.
+        policy.replace(&mut model, &mut buffer, make_samples(2, 1, 100, 4)).unwrap();
+        let mut ids: Vec<u64> = buffer.entries().iter().map(|e| e.sample.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![2, 3, 100, 101]);
+    }
+}

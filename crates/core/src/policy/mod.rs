@@ -1,0 +1,163 @@
+//! Buffer replacement policies.
+//!
+//! The proposed policy is [`ContrastScoringPolicy`]; the four baselines
+//! from the paper's evaluation are [`RandomReplacePolicy`] (reservoir-
+//! style), [`FifoReplacePolicy`], [`SelectiveBackpropPolicy`]
+//! (largest-loss selection, adapted to the contrastive loss), and
+//! [`KCenterPolicy`] (greedy core-set in feature space).
+//!
+//! All policies are **label-free**: they see only images and the model.
+
+mod contrast;
+mod fifo;
+mod kcenter;
+mod random;
+mod selective_bp;
+
+pub use contrast::ContrastScoringPolicy;
+pub use fifo::FifoReplacePolicy;
+pub use kcenter::KCenterPolicy;
+pub use random::RandomReplacePolicy;
+pub use selective_bp::SelectiveBackpropPolicy;
+
+use sdc_data::Sample;
+use sdc_tensor::Result;
+use serde::{Deserialize, Serialize};
+
+use crate::buffer::ReplayBuffer;
+use crate::model::ContrastiveModel;
+
+/// Bookkeeping returned by one replacement step, feeding the Table-I
+/// style overhead metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReplacementOutcome {
+    /// Total candidates considered (`|B ∪ I|`).
+    pub candidates: usize,
+    /// Buffer entries whose score was recomputed this step (lazy scoring
+    /// reduces this; incoming data are always scored and not counted).
+    pub rescored_buffer: usize,
+    /// Buffer occupancy before replacement.
+    pub buffer_len_before: usize,
+    /// How many previously buffered entries survived replacement.
+    pub retained_from_buffer: usize,
+    /// Model forward passes spent on scoring (in samples), the unit the
+    /// paper's "batch time" overhead is made of.
+    pub scoring_forward_samples: usize,
+}
+
+impl ReplacementOutcome {
+    /// Fraction of the pre-existing buffer that was re-scored
+    /// (the paper's "re-scoring percent", Table I).
+    pub fn rescoring_fraction(&self) -> f32 {
+        if self.buffer_len_before == 0 {
+            // An empty buffer has nothing to re-score; report full
+            // scoring so cold-start steps do not deflate the average.
+            1.0
+        } else {
+            self.rescored_buffer as f32 / self.buffer_len_before as f32
+        }
+    }
+
+    /// Fraction of the old buffer that survived replacement.
+    pub fn retention_fraction(&self) -> f32 {
+        if self.buffer_len_before == 0 {
+            0.0
+        } else {
+            self.retained_from_buffer as f32 / self.buffer_len_before as f32
+        }
+    }
+}
+
+/// A data replacement policy: merges the incoming stream segment `I`
+/// into the buffer `B`, keeping at most `B.capacity()` samples.
+pub trait ReplacementPolicy: std::fmt::Debug + Send {
+    /// Short name used in reports (matches the paper's figure legends).
+    fn name(&self) -> &'static str;
+
+    /// Performs one replacement step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model forward-pass errors.
+    fn replace(
+        &mut self,
+        model: &mut ContrastiveModel,
+        buffer: &mut ReplayBuffer,
+        incoming: Vec<Sample>,
+    ) -> Result<ReplacementOutcome>;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::model::ModelConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sdc_nn::models::EncoderConfig;
+    use sdc_tensor::Tensor;
+
+    pub fn tiny_model() -> ContrastiveModel {
+        ContrastiveModel::new(&ModelConfig {
+            encoder: EncoderConfig::tiny(),
+            projection_hidden: 8,
+            projection_dim: 4,
+            seed: 42,
+        })
+    }
+
+    pub fn make_samples(n: usize, label: usize, start_id: u64, seed: u64) -> Vec<Sample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                Sample::new(Tensor::randn([3, 8, 8], 1.0, &mut rng), label, start_id + i as u64)
+            })
+            .collect()
+    }
+
+    /// Drives a policy through two steps and checks the universal
+    /// invariants every policy must uphold.
+    pub fn check_policy_invariants(policy: &mut dyn ReplacementPolicy) {
+        let mut model = tiny_model();
+        let mut buffer = ReplayBuffer::new(4);
+        let first = make_samples(4, 0, 0, 1);
+        let out1 = policy.replace(&mut model, &mut buffer, first).unwrap();
+        assert_eq!(buffer.len(), 4, "{}: buffer must fill to capacity", policy.name());
+        assert_eq!(out1.buffer_len_before, 0);
+
+        let second = make_samples(4, 1, 100, 2);
+        let out2 = policy.replace(&mut model, &mut buffer, second).unwrap();
+        assert_eq!(buffer.len(), 4, "{}: buffer must stay at capacity", policy.name());
+        assert_eq!(out2.candidates, 8);
+        assert_eq!(out2.buffer_len_before, 4);
+        assert!(out2.retained_from_buffer <= 4);
+        // Every buffered id must come from the union of old + new.
+        for e in buffer.entries() {
+            assert!(e.sample.id < 4 || (100..104).contains(&e.sample.id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rescoring_fraction_handles_empty_buffer() {
+        let o = ReplacementOutcome::default();
+        assert_eq!(o.rescoring_fraction(), 1.0);
+        assert_eq!(o.retention_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fractions_compute() {
+        let o = ReplacementOutcome {
+            candidates: 8,
+            rescored_buffer: 1,
+            buffer_len_before: 4,
+            retained_from_buffer: 3,
+            scoring_forward_samples: 5,
+        };
+        assert!((o.rescoring_fraction() - 0.25).abs() < 1e-6);
+        assert!((o.retention_fraction() - 0.75).abs() < 1e-6);
+    }
+}

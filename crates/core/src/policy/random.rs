@@ -1,0 +1,112 @@
+//! Random replacement baseline (reservoir-sampling variant, paper §IV-A).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sdc_data::Sample;
+use sdc_tensor::Result;
+
+use super::{ReplacementOutcome, ReplacementPolicy};
+use crate::buffer::{BufferEntry, ReplayBuffer};
+use crate::model::ContrastiveModel;
+
+/// Selects the next buffer uniformly at random from `B ∪ I` — the
+/// label-free continual-learning baseline the paper reports as its most
+/// competitive comparison.
+#[derive(Debug)]
+pub struct RandomReplacePolicy {
+    rng: StdRng,
+}
+
+impl RandomReplacePolicy {
+    /// Creates the policy with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl ReplacementPolicy for RandomReplacePolicy {
+    fn name(&self) -> &'static str {
+        "Random Replace"
+    }
+
+    fn replace(
+        &mut self,
+        _model: &mut ContrastiveModel,
+        buffer: &mut ReplayBuffer,
+        incoming: Vec<Sample>,
+    ) -> Result<ReplacementOutcome> {
+        let buffer_len_before = buffer.len();
+        // Ticking first means old entries carry age ≥ 1, distinguishing
+        // them from fresh (age 0) entries after the shuffle.
+        buffer.tick_ages();
+        let mut candidates: Vec<BufferEntry> = buffer.drain();
+        candidates.extend(incoming.into_iter().map(|s| BufferEntry::new(s, 0.0)));
+        let total = candidates.len();
+        let keep = buffer.capacity().min(total);
+
+        // Partial Fisher–Yates: the first `keep` slots become a uniform
+        // sample without replacement.
+        for i in 0..keep {
+            let j = i + self.rng.random_range(0..total - i);
+            candidates.swap(i, j);
+        }
+        let selected: Vec<BufferEntry> = candidates.into_iter().take(keep).collect();
+        let retained_from_buffer = selected.iter().filter(|e| e.age > 0).count();
+        buffer.replace_all(selected);
+
+        Ok(ReplacementOutcome {
+            candidates: total,
+            rescored_buffer: 0,
+            buffer_len_before,
+            retained_from_buffer,
+            scoring_forward_samples: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_support::{check_policy_invariants, make_samples, tiny_model};
+
+    #[test]
+    fn upholds_policy_invariants() {
+        check_policy_invariants(&mut RandomReplacePolicy::new(0));
+    }
+
+    #[test]
+    fn selection_is_roughly_uniform() {
+        // Over many trials, each of the 8 candidates should be kept about
+        // half the time when keeping 4 of 8.
+        let mut model = tiny_model();
+        let mut counts = std::collections::HashMap::new();
+        for trial in 0..200 {
+            let mut policy = RandomReplacePolicy::new(trial);
+            let mut buffer = ReplayBuffer::new(4);
+            policy.replace(&mut model, &mut buffer, make_samples(4, 0, 0, 1)).unwrap();
+            policy.replace(&mut model, &mut buffer, make_samples(4, 1, 4, 2)).unwrap();
+            for e in buffer.entries() {
+                *counts.entry(e.sample.id).or_insert(0usize) += 1;
+            }
+        }
+        for id in 0..8u64 {
+            let c = counts.get(&id).copied().unwrap_or(0);
+            assert!((60..=140).contains(&c), "id {id} kept {c}/200 times");
+        }
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let mut model = tiny_model();
+        let mut run = |seed: u64| {
+            let mut policy = RandomReplacePolicy::new(seed);
+            let mut buffer = ReplayBuffer::new(4);
+            policy.replace(&mut model, &mut buffer, make_samples(4, 0, 0, 1)).unwrap();
+            policy.replace(&mut model, &mut buffer, make_samples(4, 1, 4, 2)).unwrap();
+            let mut ids: Vec<u64> = buffer.entries().iter().map(|e| e.sample.id).collect();
+            ids.sort_unstable();
+            ids
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

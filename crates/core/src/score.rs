@@ -1,0 +1,165 @@
+//! Contrast scoring (paper §III-B, Eq. (2)–(3)).
+//!
+//! `S(xᵢ) = 1 − zᵢᵀ zᵢ⁺` where `zᵢ`, `zᵢ⁺` are the ℓ2-normalized
+//! projections of `xᵢ` and its *deterministic* horizontal flip. A high
+//! score means the encoder has not yet learned a flip-invariant
+//! representation of `xᵢ`, so `xᵢ` still carries learning signal
+//! (large gradients — see [`crate::grad_analysis`]).
+
+use sdc_data::augment::flip::hflip;
+use sdc_data::{stack_image_tensors, Sample};
+use sdc_tensor::{Result, Tensor, TensorError};
+
+use crate::model::ContrastiveModel;
+
+/// Computes contrast scores for a set of samples.
+///
+/// Both the originals and their horizontal flips pass through the model
+/// in evaluation mode (deterministic, no state mutation), matching the
+/// paper's design principle that the score must reflect only the datum
+/// and the current encoder — never augmentation randomness.
+///
+/// Scores lie in `[0, 2]`.
+///
+/// # Errors
+///
+/// Returns an error if `samples` is empty or image shapes disagree.
+pub fn contrast_scores(model: &mut ContrastiveModel, samples: &[Sample]) -> Result<Vec<f32>> {
+    if samples.is_empty() {
+        return Err(TensorError::InvalidArgument {
+            op: "contrast_scores",
+            message: "cannot score an empty set".into(),
+        });
+    }
+    let originals: Vec<Tensor> = samples.iter().map(|s| s.image.clone()).collect();
+    let flipped: Vec<Tensor> = samples.iter().map(|s| hflip(&s.image)).collect();
+    // One forward over originals ++ flips keeps the two views on the
+    // identical (eval-mode) statistics.
+    let mut all = originals;
+    all.extend(flipped);
+    let batch = stack_image_tensors(&all)?;
+    let z = model.project(&batch)?;
+    Ok(scores_from_projections(&z, samples.len()))
+}
+
+/// Computes `1 − zᵢᵀ zᵢ⁺` given the stacked normalized projections of
+/// `n` originals followed by their `n` flips.
+///
+/// # Panics
+///
+/// Panics if `z` does not have `2n` rows.
+pub fn scores_from_projections(z: &Tensor, n: usize) -> Vec<f32> {
+    let (rows, d) = z.shape().as_matrix().expect("projections are rank-2");
+    assert_eq!(rows, 2 * n, "expected 2n projection rows");
+    let zd = z.data();
+    (0..n)
+        .map(|i| {
+            let a = &zd[i * d..(i + 1) * d];
+            let b = &zd[(n + i) * d..(n + i + 1) * d];
+            let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+            1.0 - dot
+        })
+        .collect()
+}
+
+/// Returns the indices of the `k` highest-scoring entries (the paper's
+/// `topN` in Eq. (4)), breaking ties by lower index for determinism.
+///
+/// # Panics
+///
+/// Panics if `k > scores.len()`.
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    assert!(k <= scores.len(), "k={k} exceeds candidate count {}", scores.len());
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sdc_nn::models::EncoderConfig;
+
+    fn model() -> ContrastiveModel {
+        ContrastiveModel::new(&ModelConfig {
+            encoder: EncoderConfig::tiny(),
+            projection_hidden: 8,
+            projection_dim: 4,
+            seed: 1,
+        })
+    }
+
+    fn samples(n: usize, seed: u64) -> Vec<Sample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| Sample::new(Tensor::randn([3, 8, 8], 1.0, &mut rng), 0, i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn scores_are_in_range_and_deterministic() {
+        let mut m = model();
+        let s = samples(6, 2);
+        let a = contrast_scores(&mut m, &s).unwrap();
+        let b = contrast_scores(&mut m, &s).unwrap();
+        assert_eq!(a, b, "scoring must be deterministic (paper §III-B)");
+        for &v in &a {
+            assert!((0.0..=2.0).contains(&v), "score {v} out of [0,2]");
+        }
+    }
+
+    #[test]
+    fn symmetric_image_scores_zero() {
+        // A left-right symmetric image equals its flip, so z = z⁺ and
+        // S(x) = 0 regardless of the encoder.
+        let mut m = model();
+        let mut img = Tensor::zeros([3, 8, 8]);
+        for c in 0..3 {
+            for y in 0..8 {
+                for x in 0..8 {
+                    let v = ((y * 13 + x.min(7 - x) * 7 + c) % 10) as f32 * 0.1;
+                    img.set(&[c, y, x], v);
+                }
+            }
+        }
+        let s = vec![Sample::new(img, 0, 0)];
+        let scores = contrast_scores(&mut m, &s).unwrap();
+        assert!(scores[0].abs() < 1e-5, "symmetric image score {}", scores[0]);
+    }
+
+    #[test]
+    fn empty_set_is_rejected() {
+        let mut m = model();
+        assert!(contrast_scores(&mut m, &[]).is_err());
+    }
+
+    #[test]
+    fn top_k_orders_by_score_descending() {
+        let scores = [0.1, 0.9, 0.5, 0.9, 0.0];
+        assert_eq!(top_k_indices(&scores, 3), vec![1, 3, 2]);
+        assert_eq!(top_k_indices(&scores, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn scores_from_projections_matches_manual_dot() {
+        let z = Tensor::from_vec(
+            [4, 2],
+            vec![
+                1.0, 0.0, // original 0
+                0.0, 1.0, // original 1
+                1.0, 0.0, // flip 0 (identical -> score 0)
+                1.0, 0.0, // flip 1 (orthogonal -> score 1)
+            ],
+        )
+        .unwrap();
+        let s = scores_from_projections(&z, 2);
+        assert!((s[0] - 0.0).abs() < 1e-6);
+        assert!((s[1] - 1.0).abs() < 1e-6);
+    }
+}

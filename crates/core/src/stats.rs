@@ -1,0 +1,136 @@
+//! Aggregated selection/runtime statistics (feeds the Table-I metrics).
+
+use serde::{Deserialize, Serialize};
+
+use crate::policy::ReplacementOutcome;
+
+/// An online mean accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningMean {
+    sum: f64,
+    count: u64,
+}
+
+impl RunningMean {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// The mean so far (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Aggregated statistics over a training run: re-scoring percentage,
+/// buffer retention, and wall-clock split between data replacement and
+/// model update.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SelectionStats {
+    rescoring: RunningMean,
+    retention: RunningMean,
+    replace_nanos: RunningMean,
+    update_nanos: RunningMean,
+}
+
+impl SelectionStats {
+    /// Records one step.
+    pub fn record(&mut self, outcome: &ReplacementOutcome, replace_nanos: u64, update_nanos: u64) {
+        self.rescoring.push(outcome.rescoring_fraction() as f64);
+        self.retention.push(outcome.retention_fraction() as f64);
+        self.replace_nanos.push(replace_nanos as f64);
+        self.update_nanos.push(update_nanos as f64);
+    }
+
+    /// Mean fraction of the buffer re-scored per iteration
+    /// (Table I "Re-scoring Pct." ÷ 100).
+    pub fn mean_rescoring_fraction(&self) -> f64 {
+        self.rescoring.mean()
+    }
+
+    /// Mean fraction of the old buffer surviving each replacement.
+    pub fn mean_retention_fraction(&self) -> f64 {
+        self.retention.mean()
+    }
+
+    /// Mean nanoseconds per replacement step.
+    pub fn mean_replace_nanos(&self) -> f64 {
+        self.replace_nanos.mean()
+    }
+
+    /// Mean nanoseconds per model update.
+    pub fn mean_update_nanos(&self) -> f64 {
+        self.update_nanos.mean()
+    }
+
+    /// Batch time relative to training without any scoring — the Table I
+    /// "Relative Batch Time" column (1.0 = no overhead).
+    pub fn relative_batch_time(&self) -> f64 {
+        let update = self.update_nanos.mean();
+        if update == 0.0 {
+            1.0
+        } else {
+            (update + self.replace_nanos.mean()) / update
+        }
+    }
+
+    /// Number of recorded steps.
+    pub fn steps(&self) -> u64 {
+        self.rescoring.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_mean_basics() {
+        let mut m = RunningMean::new();
+        assert_eq!(m.mean(), 0.0);
+        m.push(1.0);
+        m.push(3.0);
+        assert_eq!(m.mean(), 2.0);
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    fn selection_stats_aggregate() {
+        let mut s = SelectionStats::default();
+        let outcome = ReplacementOutcome {
+            candidates: 8,
+            rescored_buffer: 2,
+            buffer_len_before: 4,
+            retained_from_buffer: 3,
+            scoring_forward_samples: 12,
+        };
+        s.record(&outcome, 100, 400);
+        s.record(&outcome, 300, 400);
+        assert!((s.mean_rescoring_fraction() - 0.5).abs() < 1e-9);
+        assert!((s.mean_retention_fraction() - 0.75).abs() < 1e-9);
+        assert!((s.relative_batch_time() - 1.5).abs() < 1e-9);
+        assert_eq!(s.steps(), 2);
+    }
+
+    #[test]
+    fn relative_batch_time_degenerate() {
+        let s = SelectionStats::default();
+        assert_eq!(s.relative_batch_time(), 1.0);
+    }
+}

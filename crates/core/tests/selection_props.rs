@@ -1,0 +1,102 @@
+//! Property tests for selection arithmetic: top-k, lazy scheduling,
+//! k-center, and the score/gradient relationship.
+
+use proptest::prelude::*;
+use sdc_core::grad_analysis::{per_sample_grad_norms, spearman_rank_correlation};
+use sdc_core::lazy::LazySchedule;
+use sdc_core::score::{scores_from_projections, top_k_indices};
+use sdc_tensor::ops::norm::l2_normalize_rows_forward;
+use sdc_tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn top_k_returns_k_unique_indices_of_maximal_scores(
+        scores in proptest::collection::vec(-1.0f32..3.0, 1..40),
+        k_frac in 0.0f64..=1.0,
+    ) {
+        let k = ((scores.len() as f64) * k_frac) as usize;
+        let idx = top_k_indices(&scores, k);
+        prop_assert_eq!(idx.len(), k);
+        let mut uniq = idx.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), k);
+        // Every selected score >= every unselected score.
+        let selected: std::collections::HashSet<usize> = idx.iter().copied().collect();
+        let min_sel = idx.iter().map(|&i| scores[i]).fold(f32::INFINITY, f32::min);
+        for (i, &s) in scores.iter().enumerate() {
+            if !selected.contains(&i) {
+                prop_assert!(s <= min_sel + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_schedule_rescore_rate_is_one_over_t(t in 1u32..50) {
+        let s = LazySchedule::every(t);
+        // Over T consecutive ages exactly one triggers a re-score.
+        for start in 0..3u32 {
+            let hits = (start * t..start * t + t).filter(|&a| s.needs_rescore(a)).count();
+            prop_assert_eq!(hits, 1);
+        }
+    }
+
+    #[test]
+    fn scores_from_projections_are_bounded(
+        raw in proptest::collection::vec(-3.0f32..3.0, 24),
+    ) {
+        // 3 originals + 3 flips in 4-d.
+        let t = Tensor::from_vec([6, 4], raw.iter().map(|v| v + 0.01).collect()).unwrap();
+        let (z, _) = l2_normalize_rows_forward(&t, 1e-9).unwrap();
+        let scores = scores_from_projections(&z, 3);
+        prop_assert_eq!(scores.len(), 3);
+        for s in scores {
+            prop_assert!((-1e-5..=2.0 + 1e-5).contains(&s), "score {s}");
+        }
+    }
+
+    #[test]
+    fn identical_views_score_zero(raw in proptest::collection::vec(0.1f32..3.0, 8)) {
+        // z (2 rows) duplicated as its own "flip": scores must be ~0.
+        let t = Tensor::from_vec([2, 4], raw).unwrap();
+        let (z, _) = l2_normalize_rows_forward(&t, 1e-9).unwrap();
+        let mut data = z.data().to_vec();
+        data.extend_from_slice(z.data());
+        let stacked = Tensor::from_vec([4, 4], data).unwrap();
+        let scores = scores_from_projections(&stacked, 2);
+        for s in scores {
+            prop_assert!(s.abs() < 1e-5, "score {s}");
+        }
+    }
+
+    #[test]
+    fn gradient_norms_are_finite_and_nonnegative(
+        raw1 in proptest::collection::vec(-2.0f32..2.0, 12),
+        raw2 in proptest::collection::vec(-2.0f32..2.0, 12),
+        temp in 0.05f32..1.0,
+    ) {
+        let t1 = Tensor::from_vec([3, 4], raw1.iter().map(|v| v + 2.5).collect()).unwrap();
+        let t2 = Tensor::from_vec([3, 4], raw2.iter().map(|v| v + 2.5).collect()).unwrap();
+        let (z1, _) = l2_normalize_rows_forward(&t1, 1e-9).unwrap();
+        let (z2, _) = l2_normalize_rows_forward(&t2, 1e-9).unwrap();
+        let g = per_sample_grad_norms(&z1, &z2, temp).unwrap();
+        prop_assert_eq!(g.len(), 3);
+        for v in g {
+            prop_assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn spearman_is_symmetric_and_bounded(
+        a in proptest::collection::vec(-5.0f32..5.0, 3..20),
+    ) {
+        let b: Vec<f32> = a.iter().map(|v| v * 2.0 + 1.0).collect(); // monotone map
+        let rho = spearman_rank_correlation(&a, &b);
+        prop_assert!((rho - 1.0).abs() < 1e-5, "monotone map must give rho=1, got {rho}");
+        let c: Vec<f32> = a.iter().rev().copied().collect();
+        let rho_rev = spearman_rank_correlation(&a, &c);
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&rho_rev));
+    }
+}

@@ -1,0 +1,149 @@
+//! Photometric augmentations: colour jitter, grayscale, noise.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use sdc_tensor::Tensor;
+
+use super::Augment;
+
+/// Random brightness and per-channel contrast jitter, the colour
+/// distortion component of the SimCLR recipe.
+#[derive(Debug, Clone, Copy)]
+pub struct ColorJitter {
+    /// Brightness jitter range: the image is scaled by `1 ± brightness`.
+    pub brightness: f32,
+    /// Per-channel scale jitter range.
+    pub contrast: f32,
+}
+
+impl ColorJitter {
+    /// Creates the transform.
+    pub fn new(brightness: f32, contrast: f32) -> Self {
+        Self { brightness, contrast }
+    }
+}
+
+impl Augment for ColorJitter {
+    fn apply(&self, image: &Tensor, rng: &mut StdRng) -> Tensor {
+        let dims = image.shape().dims();
+        assert_eq!(dims.len(), 3, "ColorJitter expects a (c, h, w) image");
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        let global = 1.0 + (rng.random::<f32>() * 2.0 - 1.0) * self.brightness;
+        let per_channel: Vec<f32> =
+            (0..c).map(|_| 1.0 + (rng.random::<f32>() * 2.0 - 1.0) * self.contrast).collect();
+        let mut out = image.clone();
+        let od = out.data_mut();
+        for ci in 0..c {
+            let s = global * per_channel[ci];
+            for v in &mut od[ci * h * w..(ci + 1) * h * w] {
+                *v *= s;
+            }
+        }
+        out
+    }
+}
+
+/// Converts to grayscale (channel mean replicated) with probability `p`.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomGrayscale {
+    /// Conversion probability.
+    pub p: f64,
+}
+
+impl RandomGrayscale {
+    /// Creates the transform.
+    pub fn new(p: f64) -> Self {
+        Self { p }
+    }
+}
+
+impl Augment for RandomGrayscale {
+    fn apply(&self, image: &Tensor, rng: &mut StdRng) -> Tensor {
+        if !rng.random_bool(self.p) {
+            return image.clone();
+        }
+        let dims = image.shape().dims();
+        assert_eq!(dims.len(), 3, "RandomGrayscale expects a (c, h, w) image");
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        let mut out = image.clone();
+        let plane = h * w;
+        for i in 0..plane {
+            let mean: f32 =
+                (0..c).map(|ci| image.data()[ci * plane + i]).sum::<f32>() / c as f32;
+            for ci in 0..c {
+                out.data_mut()[ci * plane + i] = mean;
+            }
+        }
+        out
+    }
+}
+
+/// Additive Gaussian pixel noise — the stand-in for SimCLR's Gaussian
+/// blur at these small resolutions.
+#[derive(Debug, Clone, Copy)]
+pub struct GaussianNoise {
+    /// Noise standard deviation.
+    pub std: f32,
+}
+
+impl GaussianNoise {
+    /// Creates the transform.
+    pub fn new(std: f32) -> Self {
+        Self { std }
+    }
+}
+
+impl Augment for GaussianNoise {
+    fn apply(&self, image: &Tensor, rng: &mut StdRng) -> Tensor {
+        let noise = Tensor::randn(image.shape().clone(), self.std, rng);
+        let mut out = image.clone();
+        out.add_assign_scaled(&noise, 1.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn img() -> Tensor {
+        Tensor::from_vec([3, 1, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn color_jitter_scales_channels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = ColorJitter::new(0.5, 0.5).apply(&img(), &mut rng);
+        // Pixels within a channel keep their ratio.
+        let i = img();
+        for c in 0..3 {
+            let r_in = i.data()[c * 2] / i.data()[c * 2 + 1];
+            let r_out = out.data()[c * 2] / out.data()[c * 2 + 1];
+            assert!((r_in - r_out).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(ColorJitter::new(0.0, 0.0).apply(&img(), &mut rng), img());
+    }
+
+    #[test]
+    fn grayscale_equalizes_channels() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = RandomGrayscale::new(1.0).apply(&img(), &mut rng);
+        // (1+3+5)/3 = 3, (2+4+6)/3 = 4 replicated across channels.
+        assert_eq!(out.data(), &[3.0, 4.0, 3.0, 4.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn noise_perturbs_with_expected_scale() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = Tensor::zeros([3, 8, 8]);
+        let out = GaussianNoise::new(0.1).apply(&base, &mut rng);
+        let rms = (out.data().iter().map(|v| v * v).sum::<f32>() / out.len() as f32).sqrt();
+        assert!((rms - 0.1).abs() < 0.03, "rms {rms}");
+    }
+}

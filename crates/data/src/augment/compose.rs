@@ -1,0 +1,87 @@
+//! Sequential composition of augmentations and the standard pipelines.
+
+use rand::rngs::StdRng;
+use sdc_tensor::Tensor;
+
+use super::color::{ColorJitter, GaussianNoise, RandomGrayscale};
+use super::crop::RandomCrop;
+use super::flip::RandomHorizontalFlip;
+use super::Augment;
+
+/// Applies a list of transforms in order.
+#[derive(Debug, Default)]
+pub struct Compose {
+    transforms: Vec<Box<dyn Augment>>,
+}
+
+impl Compose {
+    /// Creates a composition from boxed transforms.
+    pub fn new(transforms: Vec<Box<dyn Augment>>) -> Self {
+        Self { transforms }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.transforms.len()
+    }
+
+    /// Whether the pipeline is empty (identity).
+    pub fn is_empty(&self) -> bool {
+        self.transforms.is_empty()
+    }
+}
+
+impl Augment for Compose {
+    fn apply(&self, image: &Tensor, rng: &mut StdRng) -> Tensor {
+        let mut out = image.clone();
+        for t in &self.transforms {
+            out = t.apply(&out, rng);
+        }
+        out
+    }
+}
+
+/// The strong (training) augmentation pipeline used to generate the two
+/// contrastive views: random crop, random flip, colour distortion,
+/// occasional grayscale, and light noise — the SimCLR recipe adapted to
+/// small procedural images.
+pub fn strong_augmentation() -> Compose {
+    Compose::new(vec![
+        Box::new(RandomCrop::new(2)),
+        Box::new(RandomHorizontalFlip::new(0.5)),
+        Box::new(ColorJitter::new(0.4, 0.4)),
+        Box::new(RandomGrayscale::new(0.1)),
+        Box::new(GaussianNoise::new(0.05)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn compose_applies_in_order() {
+        // Two jitters with zero randomness compose to identity.
+        let c = Compose::new(vec![
+            Box::new(ColorJitter::new(0.0, 0.0)),
+            Box::new(RandomHorizontalFlip::new(0.0)),
+        ]);
+        let img = Tensor::from_vec([1, 1, 2], vec![1.0, 2.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(c.apply(&img, &mut rng), img);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn strong_augmentation_changes_the_image() {
+        let pipeline = strong_augmentation();
+        let img = Tensor::from_vec([3, 4, 4], (0..48).map(|v| v as f32 * 0.1).collect()).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = pipeline.apply(&img, &mut rng);
+        let b = pipeline.apply(&img, &mut rng);
+        assert_ne!(a, img);
+        assert_ne!(a, b, "two draws should differ (randomized pipeline)");
+        assert_eq!(a.shape(), img.shape());
+    }
+}

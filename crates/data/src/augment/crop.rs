@@ -1,0 +1,91 @@
+//! Random cropping with zero padding.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use sdc_tensor::Tensor;
+
+use super::Augment;
+
+/// Pads the image by `padding` zeros on every side, then crops a random
+/// window of the original size — the standard small-image crop
+/// augmentation.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomCrop {
+    /// Padding (and therefore maximum displacement) in pixels.
+    pub padding: usize,
+}
+
+impl RandomCrop {
+    /// Creates the transform.
+    pub fn new(padding: usize) -> Self {
+        Self { padding }
+    }
+}
+
+impl Augment for RandomCrop {
+    fn apply(&self, image: &Tensor, rng: &mut StdRng) -> Tensor {
+        let dims = image.shape().dims();
+        assert_eq!(dims.len(), 3, "RandomCrop expects a (c, h, w) image");
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        let p = self.padding;
+        if p == 0 {
+            return image.clone();
+        }
+        let oy = rng.random_range(0..=2 * p) as isize - p as isize;
+        let ox = rng.random_range(0..=2 * p) as isize - p as isize;
+        let mut out = Tensor::zeros([c, h, w]);
+        let src = image.data();
+        let dst = out.data_mut();
+        for ci in 0..c {
+            for yi in 0..h {
+                let sy = yi as isize + oy;
+                if sy < 0 || sy >= h as isize {
+                    continue;
+                }
+                for xi in 0..w {
+                    let sx = xi as isize + ox;
+                    if sx < 0 || sx >= w as isize {
+                        continue;
+                    }
+                    dst[(ci * h + yi) * w + xi] = src[(ci * h + sy as usize) * w + sx as usize];
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_padding_is_identity() {
+        let img = Tensor::from_vec([1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(RandomCrop::new(0).apply(&img, &mut rng), img);
+    }
+
+    #[test]
+    fn crop_preserves_shape_and_is_a_shift() {
+        let img = Tensor::from_vec([1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let out = RandomCrop::new(1).apply(&img, &mut rng);
+            assert_eq!(out.shape(), img.shape());
+            // Every non-zero output pixel must exist in the source.
+            for &v in out.data() {
+                assert!(v == 0.0 || img.data().contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn crop_varies_across_draws() {
+        let img = Tensor::from_vec([1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let outs: Vec<Tensor> = (0..10).map(|_| RandomCrop::new(1).apply(&img, &mut rng)).collect();
+        assert!(outs.iter().any(|o| o != &outs[0]));
+    }
+}

@@ -1,0 +1,88 @@
+//! Horizontal flips: the deterministic scoring view and the random
+//! training transform.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use sdc_tensor::Tensor;
+
+use super::Augment;
+
+/// Deterministically flips a `(c, h, w)` image left-to-right.
+///
+/// This is the weak augmentation the paper uses to build the second view
+/// inside the contrast scoring function `S(x) = 1 − zᵀz⁺`: deterministic,
+/// so the score is consistent across repeated evaluations of the same
+/// datum (§III-B).
+///
+/// # Panics
+///
+/// Panics if the image is not rank-3.
+pub fn hflip(image: &Tensor) -> Tensor {
+    let dims = image.shape().dims();
+    assert_eq!(dims.len(), 3, "hflip expects a (c, h, w) image");
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let mut out = Tensor::zeros([c, h, w]);
+    let src = image.data();
+    let dst = out.data_mut();
+    for ci in 0..c {
+        for yi in 0..h {
+            let row = (ci * h + yi) * w;
+            for xi in 0..w {
+                dst[row + xi] = src[row + (w - 1 - xi)];
+            }
+        }
+    }
+    out
+}
+
+/// Flips the image with probability `p` — part of the strong (training)
+/// augmentation pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomHorizontalFlip {
+    /// Flip probability.
+    pub p: f64,
+}
+
+impl RandomHorizontalFlip {
+    /// Creates the transform with flip probability `p`.
+    pub fn new(p: f64) -> Self {
+        Self { p }
+    }
+}
+
+impl Augment for RandomHorizontalFlip {
+    fn apply(&self, image: &Tensor, rng: &mut StdRng) -> Tensor {
+        if rng.random_bool(self.p) {
+            hflip(image)
+        } else {
+            image.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hflip_reverses_rows() {
+        let img = Tensor::from_vec([1, 2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let f = hflip(&img);
+        assert_eq!(f.data(), &[3.0, 2.0, 1.0, 6.0, 5.0, 4.0]);
+    }
+
+    #[test]
+    fn hflip_is_involutive() {
+        let img = Tensor::from_vec([2, 2, 2], (0..8).map(|v| v as f32).collect()).unwrap();
+        assert_eq!(hflip(&hflip(&img)), img);
+    }
+
+    #[test]
+    fn random_flip_respects_probability_extremes() {
+        let img = Tensor::from_vec([1, 1, 2], vec![1.0, 2.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(RandomHorizontalFlip::new(0.0).apply(&img, &mut rng), img);
+        assert_eq!(RandomHorizontalFlip::new(1.0).apply(&img, &mut rng), hflip(&img));
+    }
+}

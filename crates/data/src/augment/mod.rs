@@ -1,0 +1,32 @@
+//! Image augmentations.
+//!
+//! Two families matter to the paper:
+//!
+//! * **Strong augmentation** ([`strong_augmentation`]) — the randomized
+//!   SimCLR-style pipeline used to create the two views of the
+//!   contrastive loss.
+//! * **Weak, deterministic augmentation** ([`flip::hflip`]) — the single
+//!   horizontal flip used *inside the contrast scoring function*, kept
+//!   deterministic so the score reflects the encoder's capability rather
+//!   than augmentation randomness (paper §III-B, "Contrast Score Design
+//!   Principle").
+
+mod color;
+mod compose;
+mod crop;
+pub mod flip;
+
+pub use color::{ColorJitter, GaussianNoise, RandomGrayscale};
+pub use compose::{strong_augmentation, Compose};
+pub use crop::RandomCrop;
+pub use flip::RandomHorizontalFlip;
+
+use rand::rngs::StdRng;
+use sdc_tensor::Tensor;
+
+/// An image transform. Implementations receive a `(c, h, w)` image and a
+/// seeded RNG; deterministic transforms simply ignore the RNG.
+pub trait Augment: std::fmt::Debug + Send + Sync {
+    /// Applies the transform.
+    fn apply(&self, image: &Tensor, rng: &mut StdRng) -> Tensor;
+}

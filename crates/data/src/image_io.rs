@@ -1,0 +1,135 @@
+//! Minimal image export (binary PPM/PGM) for visual inspection of the
+//! synthetic worlds — no image-format dependencies required.
+
+use sdc_tensor::{Result, Tensor, TensorError};
+
+/// Encodes a `(3, h, w)` or `(1, h, w)` image as a binary PPM/PGM file
+/// body, min-max normalized to the 8-bit range.
+///
+/// # Errors
+///
+/// Returns an error if the tensor is not a 1- or 3-channel rank-3 image.
+pub fn to_ppm(image: &Tensor) -> Result<Vec<u8>> {
+    let dims = image.shape().dims();
+    if dims.len() != 3 || (dims[0] != 1 && dims[0] != 3) {
+        return Err(TensorError::InvalidArgument {
+            op: "to_ppm",
+            message: format!("expected (1|3, h, w) image, got {}", image.shape()),
+        });
+    }
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let lo = image.min();
+    let hi = image.max();
+    let scale = if hi > lo { 255.0 / (hi - lo) } else { 0.0 };
+    let quantize = |v: f32| -> u8 { ((v - lo) * scale).round().clamp(0.0, 255.0) as u8 };
+
+    let header = if c == 3 { format!("P6\n{w} {h}\n255\n") } else { format!("P5\n{w} {h}\n255\n") };
+    let mut out = header.into_bytes();
+    let d = image.data();
+    for y in 0..h {
+        for x in 0..w {
+            for ci in 0..c {
+                out.push(quantize(d[(ci * h + y) * w + x]));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Tiles a batch of same-shaped images into one `(c, rows*h, cols*w)`
+/// contact sheet (useful for inspecting buffer contents).
+///
+/// # Errors
+///
+/// Returns an error if `images` is empty or shapes differ.
+pub fn contact_sheet(images: &[Tensor], cols: usize) -> Result<Tensor> {
+    let first = images.first().ok_or_else(|| TensorError::InvalidArgument {
+        op: "contact_sheet",
+        message: "no images".into(),
+    })?;
+    let dims = first.shape().dims().to_vec();
+    if dims.len() != 3 {
+        return Err(TensorError::RankMismatch {
+            op: "contact_sheet",
+            expected: 3,
+            actual: first.shape().clone(),
+        });
+    }
+    let cols = cols.max(1);
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let rows = images.len().div_ceil(cols);
+    let mut sheet = Tensor::zeros([c, rows * h, cols * w]);
+    for (i, img) in images.iter().enumerate() {
+        if img.shape().dims() != dims {
+            return Err(TensorError::ShapeMismatch {
+                op: "contact_sheet",
+                lhs: first.shape().clone(),
+                rhs: img.shape().clone(),
+            });
+        }
+        let (ty, tx) = (i / cols, i % cols);
+        let sd = sheet.data_mut();
+        let id = img.data();
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    let dst = (ci * rows * h + ty * h + y) * cols * w + tx * w + x;
+                    sd[dst] = id[(ci * h + y) * w + x];
+                }
+            }
+        }
+    }
+    Ok(sheet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = Tensor::from_vec([3, 2, 2], (0..12).map(|v| v as f32).collect()).unwrap();
+        let ppm = to_ppm(&img).unwrap();
+        assert!(ppm.starts_with(b"P6\n2 2\n255\n"));
+        assert_eq!(ppm.len(), 11 + 12);
+    }
+
+    #[test]
+    fn pgm_for_single_channel() {
+        let img = Tensor::zeros([1, 2, 3]);
+        let pgm = to_ppm(&img).unwrap();
+        assert!(pgm.starts_with(b"P5\n3 2\n255\n"));
+    }
+
+    #[test]
+    fn quantization_spans_full_range() {
+        let img = Tensor::from_vec([1, 1, 2], vec![-1.0, 1.0]).unwrap();
+        let pgm = to_ppm(&img).unwrap();
+        let body = &pgm[pgm.len() - 2..];
+        assert_eq!(body, &[0u8, 255]);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(to_ppm(&Tensor::zeros([2, 2, 2])).is_err());
+        assert!(to_ppm(&Tensor::zeros([4])).is_err());
+    }
+
+    #[test]
+    fn contact_sheet_tiles_images() {
+        let a = Tensor::full([1, 2, 2], 1.0);
+        let b = Tensor::full([1, 2, 2], 2.0);
+        let sheet = contact_sheet(&[a, b], 2).unwrap();
+        assert_eq!(sheet.shape().dims(), &[1, 2, 4]);
+        assert_eq!(sheet.get(&[0, 0, 0]), 1.0);
+        assert_eq!(sheet.get(&[0, 0, 2]), 2.0);
+    }
+
+    #[test]
+    fn contact_sheet_validates_inputs() {
+        assert!(contact_sheet(&[], 2).is_err());
+        let a = Tensor::zeros([1, 2, 2]);
+        let b = Tensor::zeros([1, 3, 3]);
+        assert!(contact_sheet(&[a, b], 2).is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! Stream variants beyond the paper's fixed-run model: stochastic run
+//! lengths, class-distribution drift, and online stream statistics.
+//!
+//! The paper's deployment story ("adapt to new environments") implies
+//! streams whose statistics change over time; these extensions let the
+//! experiments stress the policies under such conditions.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sdc_tensor::Result;
+use serde::{Deserialize, Serialize};
+
+use crate::sample::Sample;
+use crate::synth::SynthDataset;
+
+/// How run lengths are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RunLengthModel {
+    /// Every run is exactly `stc` samples — the paper's model.
+    Fixed {
+        /// Run length.
+        stc: usize,
+    },
+    /// Run lengths are geometric with mean `mean_stc` (minimum 1):
+    /// after every sample the class switches with probability
+    /// `1 / mean_stc`. Matches the empirical STC definition in
+    /// expectation while adding realistic variability.
+    Geometric {
+        /// Mean run length.
+        mean_stc: usize,
+    },
+}
+
+impl RunLengthModel {
+    fn draw(&self, rng: &mut StdRng) -> usize {
+        match *self {
+            RunLengthModel::Fixed { stc } => stc.max(1),
+            RunLengthModel::Geometric { mean_stc } => {
+                let p = 1.0 / mean_stc.max(1) as f64;
+                let mut len = 1usize;
+                while !rng.random_bool(p) && len < mean_stc.saturating_mul(20).max(1) {
+                    len += 1;
+                }
+                len
+            }
+        }
+    }
+}
+
+/// How class popularity evolves over the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DriftModel {
+    /// Uniform class choice forever.
+    None,
+    /// The environment rotates: at any time only a window of
+    /// `active_classes` consecutive classes is observable, and the
+    /// window advances one class every `period` samples — the "robot
+    /// moves to a new area" scenario.
+    RotatingWindow {
+        /// Size of the active class window.
+        active_classes: usize,
+        /// Samples between window advances.
+        period: usize,
+    },
+}
+
+/// An extended stream with configurable run-length and drift models.
+#[derive(Debug)]
+pub struct ExtendedStream {
+    dataset: SynthDataset,
+    run_model: RunLengthModel,
+    drift: DriftModel,
+    rng: StdRng,
+    current_class: usize,
+    remaining_in_run: usize,
+    emitted: u64,
+}
+
+impl ExtendedStream {
+    /// Creates the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has no classes or a drift window is empty.
+    pub fn new(
+        dataset: SynthDataset,
+        run_model: RunLengthModel,
+        drift: DriftModel,
+        seed: u64,
+    ) -> Self {
+        assert!(dataset.num_classes() > 0, "dataset must have classes");
+        if let DriftModel::RotatingWindow { active_classes, .. } = drift {
+            assert!(active_classes > 0, "drift window must be non-empty");
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let current_class = rng.random_range(0..dataset.num_classes());
+        Self { dataset, run_model, drift, rng, current_class, remaining_in_run: 0, emitted: 0 }
+    }
+
+    /// Classes currently observable under the drift model.
+    pub fn active_classes(&self) -> Vec<usize> {
+        let n = self.dataset.num_classes();
+        match self.drift {
+            DriftModel::None => (0..n).collect(),
+            DriftModel::RotatingWindow { active_classes, period } => {
+                let start = (self.emitted / period.max(1) as u64) as usize % n;
+                (0..active_classes.min(n)).map(|i| (start + i) % n).collect()
+            }
+        }
+    }
+
+    /// Produces the next stream item.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors.
+    pub fn next_sample(&mut self) -> Result<Sample> {
+        if self.remaining_in_run == 0 {
+            let active = self.active_classes();
+            // Pick a different class from the active set when possible.
+            let choices: Vec<usize> =
+                active.iter().copied().filter(|&c| c != self.current_class).collect();
+            self.current_class = if choices.is_empty() {
+                active[0]
+            } else {
+                choices[self.rng.random_range(0..choices.len())]
+            };
+            self.remaining_in_run = self.run_model.draw(&mut self.rng);
+        }
+        self.remaining_in_run -= 1;
+        self.emitted += 1;
+        self.dataset.sample(self.current_class, &mut self.rng)
+    }
+
+    /// Produces the next `n` stream items.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors.
+    pub fn next_segment(&mut self, n: usize) -> Result<Vec<Sample>> {
+        (0..n).map(|_| self.next_sample()).collect()
+    }
+
+    /// Number of samples emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+/// Online statistics over an observed label stream: empirical STC and
+/// class frequencies.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamStats {
+    counts: Vec<u64>,
+    runs: u64,
+    total: u64,
+    last_label: Option<usize>,
+}
+
+impl StreamStats {
+    /// Creates a tracker for `classes` classes.
+    pub fn new(classes: usize) -> Self {
+        Self { counts: vec![0; classes], runs: 0, total: 0, last_label: None }
+    }
+
+    /// Observes one label.
+    pub fn observe(&mut self, label: usize) {
+        if label < self.counts.len() {
+            self.counts[label] += 1;
+        }
+        if self.last_label != Some(label) {
+            self.runs += 1;
+            self.last_label = Some(label);
+        }
+        self.total += 1;
+    }
+
+    /// Observes a batch of samples.
+    pub fn observe_segment(&mut self, segment: &[Sample]) {
+        for s in segment {
+            self.observe(s.label);
+        }
+    }
+
+    /// Empirical STC (mean run length) so far; 0 before any observation.
+    pub fn empirical_stc(&self) -> f32 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.total as f32 / self.runs as f32
+        }
+    }
+
+    /// Observed class frequencies (sums to 1 when non-empty).
+    pub fn class_frequencies(&self) -> Vec<f32> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f32 / self.total as f32).collect()
+    }
+
+    /// Number of distinct classes observed.
+    pub fn classes_seen(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Total samples observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthConfig;
+
+    fn dataset(classes: usize) -> SynthDataset {
+        SynthDataset::new(SynthConfig { classes, height: 4, width: 4, ..SynthConfig::default() })
+    }
+
+    #[test]
+    fn fixed_runs_match_paper_stream() {
+        let mut s = ExtendedStream::new(
+            dataset(5),
+            RunLengthModel::Fixed { stc: 4 },
+            DriftModel::None,
+            1,
+        );
+        let labels: Vec<usize> =
+            s.next_segment(20).unwrap().iter().map(|x| x.label).collect();
+        for chunk in labels.chunks(4) {
+            assert!(chunk.iter().all(|&l| l == chunk[0]));
+        }
+    }
+
+    #[test]
+    fn geometric_runs_have_approximately_the_right_mean() {
+        let mut s = ExtendedStream::new(
+            dataset(10),
+            RunLengthModel::Geometric { mean_stc: 8 },
+            DriftModel::None,
+            2,
+        );
+        let mut stats = StreamStats::new(10);
+        stats.observe_segment(&s.next_segment(4000).unwrap());
+        let stc = stats.empirical_stc();
+        assert!((5.0..12.0).contains(&stc), "empirical STC {stc}");
+    }
+
+    #[test]
+    fn rotating_window_limits_active_classes() {
+        let mut s = ExtendedStream::new(
+            dataset(10),
+            RunLengthModel::Fixed { stc: 2 },
+            DriftModel::RotatingWindow { active_classes: 3, period: 50 },
+            3,
+        );
+        // During the first period only classes {w, w+1, w+2} appear.
+        let first: Vec<usize> = s.next_segment(48).unwrap().iter().map(|x| x.label).collect();
+        let distinct: std::collections::HashSet<usize> = first.iter().copied().collect();
+        assert!(distinct.len() <= 3, "{distinct:?}");
+    }
+
+    #[test]
+    fn drift_eventually_covers_all_classes() {
+        let mut s = ExtendedStream::new(
+            dataset(6),
+            RunLengthModel::Fixed { stc: 3 },
+            DriftModel::RotatingWindow { active_classes: 2, period: 12 },
+            4,
+        );
+        let mut stats = StreamStats::new(6);
+        stats.observe_segment(&s.next_segment(600).unwrap());
+        assert_eq!(stats.classes_seen(), 6);
+    }
+
+    #[test]
+    fn stats_track_frequencies() {
+        let mut stats = StreamStats::new(3);
+        for l in [0, 0, 1, 1, 1, 2] {
+            stats.observe(l);
+        }
+        let f = stats.class_frequencies();
+        assert!((f[0] - 2.0 / 6.0).abs() < 1e-6);
+        assert!((f[1] - 0.5).abs() < 1e-6);
+        assert_eq!(stats.total(), 6);
+        assert_eq!(stats.classes_seen(), 3);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = StreamStats::new(2);
+        assert_eq!(stats.empirical_stc(), 0.0);
+        assert_eq!(stats.class_frequencies(), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Procedural class-conditional image generation.
+
+mod generator;
+mod presets;
+mod prototypes;
+
+pub use generator::{SynthConfig, SynthDataset};
+pub use presets::DatasetPreset;
+pub use prototypes::{ClassPrototype, Grating};

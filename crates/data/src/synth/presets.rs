@@ -1,0 +1,160 @@
+//! Dataset presets mirroring the paper's benchmark suite.
+//!
+//! Each preset matches the corresponding real dataset's *class count* and
+//! relative difficulty knobs (resolution, noise, texture complexity); the
+//! pixel content is procedural (see `DESIGN.md` §2 for the substitution
+//! rationale).
+
+use serde::{Deserialize, Serialize};
+
+use super::generator::SynthConfig;
+
+/// The benchmark datasets from the paper's evaluation section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetPreset {
+    /// CIFAR-10 stand-in: 10 classes, low resolution.
+    Cifar10Like,
+    /// CIFAR-100 stand-in: 100 classes, low resolution.
+    Cifar100Like,
+    /// SVHN stand-in: 10 classes, low texture complexity (digit-like),
+    /// the easiest of the suite — matching SVHN's high absolute accuracy.
+    SvhnLike,
+    /// ImageNet-20 stand-in: 20 classes, higher resolution.
+    ImageNet20Like,
+    /// ImageNet-50 stand-in: 50 classes, higher resolution.
+    ImageNet50Like,
+    /// ImageNet-100 stand-in: 100 classes, higher resolution.
+    ImageNet100Like,
+}
+
+impl DatasetPreset {
+    /// All presets, in the order the paper reports them.
+    pub const ALL: [DatasetPreset; 6] = [
+        DatasetPreset::Cifar10Like,
+        DatasetPreset::Cifar100Like,
+        DatasetPreset::SvhnLike,
+        DatasetPreset::ImageNet20Like,
+        DatasetPreset::ImageNet50Like,
+        DatasetPreset::ImageNet100Like,
+    ];
+
+    /// Human-readable name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetPreset::Cifar10Like => "CIFAR-10(synth)",
+            DatasetPreset::Cifar100Like => "CIFAR-100(synth)",
+            DatasetPreset::SvhnLike => "SVHN(synth)",
+            DatasetPreset::ImageNet20Like => "ImageNet-20(synth)",
+            DatasetPreset::ImageNet50Like => "ImageNet-50(synth)",
+            DatasetPreset::ImageNet100Like => "ImageNet-100(synth)",
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(self) -> usize {
+        match self {
+            DatasetPreset::Cifar10Like | DatasetPreset::SvhnLike => 10,
+            DatasetPreset::Cifar100Like | DatasetPreset::ImageNet100Like => 100,
+            DatasetPreset::ImageNet20Like => 20,
+            DatasetPreset::ImageNet50Like => 50,
+        }
+    }
+
+    /// The paper's default Strength of Temporal Correlation for this
+    /// dataset (500 for CIFAR/SVHN, 100 for ImageNet subsets; §IV-A).
+    pub fn default_stc(self) -> usize {
+        match self {
+            DatasetPreset::Cifar10Like
+            | DatasetPreset::Cifar100Like
+            | DatasetPreset::SvhnLike => 500,
+            _ => 100,
+        }
+    }
+
+    /// The generator configuration for this preset.
+    pub fn config(self, seed: u64) -> SynthConfig {
+        let base = SynthConfig { seed, ..SynthConfig::default() };
+        match self {
+            DatasetPreset::Cifar10Like => SynthConfig { classes: 10, ..base },
+            DatasetPreset::Cifar100Like => SynthConfig {
+                classes: 100,
+                // More classes packed into the same texture space makes
+                // class structure harder to read out — like CIFAR-100.
+                noise: 0.20,
+                ..base
+            },
+            DatasetPreset::SvhnLike => SynthConfig {
+                classes: 10,
+                gratings_per_channel: 2,
+                max_frequency: 2.0,
+                noise: 0.10,
+                ..base
+            },
+            DatasetPreset::ImageNet20Like => SynthConfig {
+                classes: 20,
+                height: 16,
+                width: 16,
+                gratings_per_channel: 4,
+                max_frequency: 4.0,
+                ..base
+            },
+            DatasetPreset::ImageNet50Like => SynthConfig {
+                classes: 50,
+                height: 16,
+                width: 16,
+                gratings_per_channel: 4,
+                max_frequency: 4.0,
+                ..base
+            },
+            DatasetPreset::ImageNet100Like => SynthConfig {
+                classes: 100,
+                height: 16,
+                width: 16,
+                gratings_per_channel: 4,
+                max_frequency: 4.0,
+                ..base
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_counts_match_paper() {
+        assert_eq!(DatasetPreset::Cifar10Like.classes(), 10);
+        assert_eq!(DatasetPreset::Cifar100Like.classes(), 100);
+        assert_eq!(DatasetPreset::SvhnLike.classes(), 10);
+        assert_eq!(DatasetPreset::ImageNet20Like.classes(), 20);
+        assert_eq!(DatasetPreset::ImageNet50Like.classes(), 50);
+        assert_eq!(DatasetPreset::ImageNet100Like.classes(), 100);
+    }
+
+    #[test]
+    fn stc_defaults_match_paper_setup() {
+        assert_eq!(DatasetPreset::Cifar10Like.default_stc(), 500);
+        assert_eq!(DatasetPreset::ImageNet100Like.default_stc(), 100);
+    }
+
+    #[test]
+    fn configs_are_consistent_with_class_counts() {
+        for p in DatasetPreset::ALL {
+            assert_eq!(p.config(0).classes, p.classes(), "{p}");
+        }
+    }
+
+    #[test]
+    fn imagenet_presets_use_higher_resolution() {
+        let c10 = DatasetPreset::Cifar10Like.config(0);
+        let i100 = DatasetPreset::ImageNet100Like.config(0);
+        assert!(i100.height > c10.height);
+    }
+}

@@ -1,0 +1,86 @@
+//! Batched feature extraction from a frozen encoder.
+
+use sdc_core::model::ContrastiveModel;
+use sdc_data::{stack_images, Sample};
+use sdc_tensor::{Result, Tensor, TensorError};
+
+/// Extracts encoder features for a sample set in mini-batches (bounding
+/// peak memory), returning the `(n, feature_dim)` matrix and the labels.
+///
+/// # Errors
+///
+/// Returns an error if `samples` is empty or shapes disagree.
+pub fn extract_features(
+    model: &mut ContrastiveModel,
+    samples: &[Sample],
+    batch_size: usize,
+) -> Result<(Tensor, Vec<usize>)> {
+    if samples.is_empty() {
+        return Err(TensorError::InvalidArgument {
+            op: "extract_features",
+            message: "cannot extract features from an empty set".into(),
+        });
+    }
+    let batch_size = batch_size.max(1);
+    let dim = model.feature_dim();
+    let mut data = Vec::with_capacity(samples.len() * dim);
+    for chunk in samples.chunks(batch_size) {
+        let batch = stack_images(chunk)?;
+        let h = model.features(&batch)?;
+        data.extend_from_slice(h.data());
+    }
+    let features = Tensor::from_vec([samples.len(), dim], data)?;
+    let labels = samples.iter().map(|s| s.label).collect();
+    Ok((features, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sdc_core::model::ModelConfig;
+    use sdc_nn::models::EncoderConfig;
+
+    fn model() -> ContrastiveModel {
+        ContrastiveModel::new(&ModelConfig {
+            encoder: EncoderConfig::tiny(),
+            projection_hidden: 8,
+            projection_dim: 4,
+            seed: 0,
+        })
+    }
+
+    fn samples(n: usize) -> Vec<Sample> {
+        let mut rng = StdRng::seed_from_u64(1);
+        (0..n)
+            .map(|i| Sample::new(Tensor::randn([3, 8, 8], 1.0, &mut rng), i % 3, i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn features_shape_and_labels() {
+        let mut m = model();
+        let s = samples(7);
+        let (f, labels) = extract_features(&mut m, &s, 3).unwrap();
+        assert_eq!(f.shape().dims(), &[7, m.feature_dim()]);
+        assert_eq!(labels, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn chunking_does_not_change_results() {
+        let mut m = model();
+        let s = samples(6);
+        let (f1, _) = extract_features(&mut m, &s, 2).unwrap();
+        let (f2, _) = extract_features(&mut m, &s, 6).unwrap();
+        for (a, b) in f1.data().iter().zip(f2.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn empty_set_rejected() {
+        let mut m = model();
+        assert!(extract_features(&mut m, &[], 4).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Label-budget splits: the paper's 1% / 10% / 100% labeled subsets.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sdc_data::Sample;
+
+/// Selects a stratified labeled subset containing `fraction` of the data
+/// (at least one sample per present class), simulating sending a small
+/// fraction of the stream to the server for labeling (paper §I).
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `(0, 1]`.
+pub fn labeled_fraction(samples: &[Sample], fraction: f64, seed: u64) -> Vec<Sample> {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+    if fraction >= 1.0 {
+        return samples.to_vec();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Group indices by class.
+    let mut by_class: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (i, s) in samples.iter().enumerate() {
+        by_class.entry(s.label).or_default().push(i);
+    }
+    let mut chosen = Vec::new();
+    for (_, mut idx) in by_class {
+        // Fisher–Yates shuffle, then take ceil(fraction * len) ≥ 1.
+        for i in (1..idx.len()).rev() {
+            let j = rng.random_range(0..=i);
+            idx.swap(i, j);
+        }
+        let take = ((idx.len() as f64 * fraction).ceil() as usize).max(1);
+        chosen.extend(idx.into_iter().take(take));
+    }
+    chosen.sort_unstable();
+    chosen.into_iter().map(|i| samples[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdc_tensor::Tensor;
+
+    fn dataset(per_class: usize, classes: usize) -> Vec<Sample> {
+        (0..per_class * classes)
+            .map(|i| Sample::new(Tensor::zeros([1, 2, 2]), i % classes, i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn fraction_selects_expected_count() {
+        let data = dataset(100, 5);
+        let subset = labeled_fraction(&data, 0.1, 0);
+        assert_eq!(subset.len(), 50);
+    }
+
+    #[test]
+    fn every_class_is_represented_even_at_one_percent() {
+        let data = dataset(20, 10);
+        let subset = labeled_fraction(&data, 0.01, 0);
+        let classes: std::collections::HashSet<usize> =
+            subset.iter().map(|s| s.label).collect();
+        assert_eq!(classes.len(), 10);
+    }
+
+    #[test]
+    fn full_fraction_is_identity() {
+        let data = dataset(5, 2);
+        assert_eq!(labeled_fraction(&data, 1.0, 0).len(), data.len());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let data = dataset(50, 4);
+        let a: Vec<u64> = labeled_fraction(&data, 0.2, 7).iter().map(|s| s.id).collect();
+        let b: Vec<u64> = labeled_fraction(&data, 0.2, 7).iter().map(|s| s.id).collect();
+        assert_eq!(a, b);
+        let c: Vec<u64> = labeled_fraction(&data, 0.2, 8).iter().map(|s| s.id).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn zero_fraction_panics() {
+        labeled_fraction(&dataset(2, 1), 0.0, 0);
+    }
+}

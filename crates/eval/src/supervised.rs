@@ -1,0 +1,147 @@
+//! Direct supervised baseline (paper §IV-B).
+//!
+//! Trains encoder + classifier end-to-end with cross-entropy on the
+//! labeled fraction *only* — the option the paper shows to be impractical
+//! at 1%/10% label budgets (32.11% / 40.53% on CIFAR-10, 28–31 points
+//! below the proposed framework).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sdc_data::{stack_images, Sample};
+use sdc_nn::models::{EncoderConfig, LinearClassifier, ResNetEncoder};
+use sdc_nn::optim::{Adam, Optimizer};
+use sdc_nn::{Bindings, Forward, Module, ParamStore};
+use sdc_tensor::{Graph, Result, TensorError};
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{accuracy, argmax_rows};
+
+/// Hyper-parameters of the supervised baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SupervisedConfig {
+    /// Training epochs over the labeled subset.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Seed for init and shuffling.
+    pub seed: u64,
+}
+
+impl Default for SupervisedConfig {
+    fn default() -> Self {
+        Self { epochs: 10, learning_rate: 1e-3, batch_size: 32, seed: 0 }
+    }
+}
+
+/// Trains a fresh encoder + classifier on `train` with cross-entropy and
+/// returns test accuracy.
+///
+/// # Errors
+///
+/// Returns an error if either set is empty or shapes disagree.
+pub fn supervised_baseline(
+    encoder_config: EncoderConfig,
+    train: &[Sample],
+    test: &[Sample],
+    num_classes: usize,
+    config: &SupervisedConfig,
+) -> Result<f32> {
+    if train.is_empty() || test.is_empty() {
+        return Err(TensorError::InvalidArgument {
+            op: "supervised_baseline",
+            message: "train and test sets must be non-empty".into(),
+        });
+    }
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let encoder = ResNetEncoder::new(&mut store, encoder_config, &mut rng);
+    let classifier = LinearClassifier::new(&mut store, encoder.feature_dim(), num_classes, &mut rng);
+    let mut optimizer = Adam::new(config.learning_rate);
+
+    let n = train.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    for _epoch in 0..config.epochs {
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        for chunk in order.chunks(config.batch_size.max(1)) {
+            let samples: Vec<Sample> = chunk.iter().map(|&i| train[i].clone()).collect();
+            let batch = stack_images(&samples)?;
+            let targets: Vec<usize> = samples.iter().map(|s| s.label).collect();
+            let mut graph = Graph::new();
+            let mut bindings = Bindings::new();
+            let mut ctx = Forward::new(&mut graph, &mut store, &mut bindings, true);
+            let x = ctx.graph.leaf(batch);
+            let h = encoder.forward(&mut ctx, x)?;
+            let logits = classifier.forward(&mut ctx, h)?;
+            let logp = graph.log_softmax(logits)?;
+            let loss = graph.nll_loss(logp, targets)?;
+            graph.backward(loss)?;
+            store.zero_grads();
+            bindings.accumulate_grads(&graph, &mut store);
+            optimizer.step(&mut store);
+        }
+    }
+
+    // Evaluate in chunks.
+    let mut predictions = Vec::with_capacity(test.len());
+    for chunk in test.chunks(config.batch_size.max(1)) {
+        let batch = stack_images(chunk)?;
+        let mut graph = Graph::new();
+        let mut bindings = Bindings::new();
+        let mut ctx = Forward::new(&mut graph, &mut store, &mut bindings, false);
+        let x = ctx.graph.leaf(batch);
+        let h = encoder.forward(&mut ctx, x)?;
+        let logits = classifier.forward(&mut ctx, h)?;
+        predictions.extend(argmax_rows(graph.value(logits).data(), num_classes));
+    }
+    let labels: Vec<usize> = test.iter().map(|s| s.label).collect();
+    Ok(accuracy(&predictions, &labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdc_tensor::Tensor;
+
+    fn separable(n: usize, seed: u64) -> Vec<Sample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let class = i % 2;
+                let base = if class == 0 { -1.5 } else { 1.5 };
+                let mut img = Tensor::randn([3, 8, 8], 0.3, &mut rng);
+                img.data_mut().iter_mut().for_each(|v| *v += base);
+                Sample::new(img, class, i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn supervised_learns_separable_toy_task() {
+        let acc = supervised_baseline(
+            EncoderConfig::tiny(),
+            &separable(32, 1),
+            &separable(16, 2),
+            2,
+            &SupervisedConfig { epochs: 6, ..SupervisedConfig::default() },
+        )
+        .unwrap();
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn empty_sets_are_rejected() {
+        assert!(supervised_baseline(
+            EncoderConfig::tiny(),
+            &[],
+            &separable(2, 3),
+            2,
+            &SupervisedConfig::default()
+        )
+        .is_err());
+    }
+}

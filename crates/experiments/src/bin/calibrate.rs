@@ -1,0 +1,29 @@
+//! Calibration utility: reports the probe floor (untrained encoder) and
+//! the ceiling after a short contrastive run, for tuning the synthetic
+//! dataset difficulty. Not part of the paper reproduction.
+//!
+//! Run: `cargo run -p sdc-experiments --release --bin calibrate`
+
+use sdc_core::ContrastiveModel;
+use sdc_data::synth::DatasetPreset;
+use sdc_eval::linear_probe;
+use sdc_experiments::{parse_args, policy_by_name, train_policy, EvalSets, ScaledSetup};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (scale, _) = parse_args();
+    let setup = ScaledSetup::new(DatasetPreset::Cifar10Like, scale, 3);
+    let eval = EvalSets::for_setup(&setup, 3)?;
+
+    let mut fresh = ContrastiveModel::new(&setup.trainer.model);
+    let floor = linear_probe(&mut fresh, &eval.train, &eval.test, eval.classes, &setup.probe)?;
+    println!("untrained floor: {:.2}%", floor.test_accuracy * 100.0);
+
+    for policy in ["contrast", "random", "fifo"] {
+        let mut trainer =
+            train_policy(&setup, policy_by_name(policy, setup.trainer.temperature, 3), 3)?;
+        let r =
+            linear_probe(trainer.model_mut(), &eval.train, &eval.test, eval.classes, &setup.probe)?;
+        println!("{}: {:.2}%", trainer.policy_name(), r.test_accuracy * 100.0);
+    }
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Figure 3 reproduction: accuracy on CIFAR-10(synth) with 1% and 10%
+//! labeled data for all five selection approaches, plus the §IV-B direct
+//! supervised baseline rows.
+//!
+//! Run: `cargo run -p sdc-experiments --release --bin fig3 [-- --scale default]`
+
+use sdc_data::synth::DatasetPreset;
+use sdc_eval::{labeled_fraction, linear_probe, supervised_baseline, SupervisedConfig};
+use sdc_experiments::{parse_args, policy_by_name, print_table, train_policy, EvalSets, ScaledSetup};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (scale, _) = parse_args();
+    println!("fig3: scale={}", scale.name());
+    let setup = ScaledSetup::new(DatasetPreset::Cifar10Like, scale, 11);
+    let eval = EvalSets::for_setup(&setup, 11)?;
+
+    let policies = ["contrast", "random", "fifo", "selective-bp", "k-center"];
+    let fractions = [0.01, 0.10];
+    let mut rows = Vec::new();
+    let mut contrast_acc = [0.0f32; 2];
+    for policy in policies {
+        let mut trainer =
+            train_policy(&setup, policy_by_name(policy, setup.trainer.temperature, 11), 11)?;
+        let name = trainer.policy_name();
+        let mut row = vec![name.to_string()];
+        for (fi, &fraction) in fractions.iter().enumerate() {
+            let labeled = labeled_fraction(&eval.train, fraction, 11);
+            let result =
+                linear_probe(trainer.model_mut(), &labeled, &eval.test, eval.classes, &setup.probe)?;
+            if policy == "contrast" {
+                contrast_acc[fi] = result.test_accuracy;
+            }
+            row.push(format!("{:.2}%", result.test_accuracy * 100.0));
+            row.push(format!("{:+.2}", (contrast_acc[fi] - result.test_accuracy) * 100.0));
+        }
+        println!("{name}: done");
+        rows.push(row);
+    }
+
+    // §IV-B: direct supervised learning on the labeled fraction only.
+    let mut supervised_row = vec!["Supervised (direct)".to_string()];
+    for (fi, &fraction) in fractions.iter().enumerate() {
+        let labeled = labeled_fraction(&eval.train, fraction, 11);
+        let acc = supervised_baseline(
+            setup.trainer.model.encoder.clone(),
+            &labeled,
+            &eval.test,
+            eval.classes,
+            &SupervisedConfig { epochs: setup.probe.epochs, seed: 11, ..SupervisedConfig::default() },
+        )?;
+        supervised_row.push(format!("{acc:.2}", acc = acc * 100.0));
+        supervised_row.push(format!("{:+.2}", (contrast_acc[fi] - acc) * 100.0));
+    }
+    rows.push(supervised_row);
+
+    print_table(
+        "Fig. 3: CIFAR-10(synth) accuracy by labeling ratio (Δ = Contrast Scoring − method)",
+        &["Method", "1% labels", "Δ1%", "10% labels", "Δ10%"],
+        &rows,
+    );
+    println!(
+        "\npaper reference: Contrast Scoring 60.47% / 71.75%; margins over baselines\n\
+         +8.33..+13.9 (1%) and +4.58..+10.09 (10%); supervised 32.11% / 40.53%."
+    );
+    Ok(())
+}

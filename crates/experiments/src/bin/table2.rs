@@ -1,0 +1,74 @@
+//! Table II reproduction: accuracy on CIFAR-10(synth) with different
+//! buffer sizes for Contrast Scoring / Random / FIFO, with the paper's
+//! `lr ∝ √buffer` scaling.
+//!
+//! Run: `cargo run -p sdc-experiments --release --bin table2 [-- --scale default]`
+
+use sdc_data::synth::DatasetPreset;
+use sdc_eval::linear_probe;
+use sdc_experiments::{
+    parse_args, policy_by_name, print_table, train_policy, EvalSets, ExperimentScale, ScaledSetup,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (scale, _) = parse_args();
+    println!("table2: scale={}", scale.name());
+    let base = ScaledSetup::new(DatasetPreset::Cifar10Like, scale, 23);
+    let eval = EvalSets::for_setup(&base, 23)?;
+
+    // Paper sweep {8, 32, 128, 256}; scaled sweeps keep the 4x spacing.
+    let buffer_sizes: Vec<usize> = match scale {
+        ExperimentScale::Smoke => vec![4, 8],
+        ExperimentScale::Default => vec![4, 8, 16, 32],
+        ExperimentScale::Full => vec![8, 32, 128, 256],
+    };
+
+    let mut rows = Vec::new();
+    for &buffer in &buffer_sizes {
+        let mut contrast = 0.0f32;
+        for policy in ["contrast", "random", "fifo"] {
+            let mut setup = base.clone();
+            setup.trainer.buffer_size = buffer;
+            // lr ∝ √batch relative to the scale's reference buffer.
+            let reference = base.trainer.buffer_size;
+            setup.trainer.scale_lr_for_buffer(reference);
+            // Keep the number of *seen inputs* constant across buffer
+            // sizes, as the paper's x-axes do.
+            setup.iterations = (base.iterations * base.trainer.buffer_size / buffer).max(1);
+            let mut trainer =
+                train_policy(&setup, policy_by_name(policy, setup.trainer.temperature, 23), 23)?;
+            let name = trainer.policy_name();
+            let result = linear_probe(
+                trainer.model_mut(),
+                &eval.train,
+                &eval.test,
+                eval.classes,
+                &setup.probe,
+            )?;
+            if policy == "contrast" {
+                contrast = result.test_accuracy;
+            }
+            rows.push(vec![
+                buffer.to_string(),
+                name.to_string(),
+                format!(
+                    "{:.2} ({:+.2})",
+                    result.test_accuracy * 100.0,
+                    (result.test_accuracy - contrast) * 100.0
+                ),
+            ]);
+            println!("buffer {buffer} {name}: done");
+        }
+    }
+
+    print_table(
+        "Table II: CIFAR-10(synth) accuracy by buffer size (Δ vs Contrast Scoring)",
+        &["Buffer Size", "Method", "Accuracy (%)"],
+        &rows,
+    );
+    println!(
+        "\npaper reference: Contrast Scoring leads at every size (69.38/73.26/73.97/76.06),\n\
+         margins grow with buffer size (−2.67..−5.53 for baselines at 256)."
+    );
+    Ok(())
+}

@@ -1,0 +1,167 @@
+//! Experiment execution: train a policy on a stream, probe periodically.
+
+use sdc_core::policy::{
+    ContrastScoringPolicy, FifoReplacePolicy, KCenterPolicy, RandomReplacePolicy,
+    ReplacementPolicy, SelectiveBackpropPolicy,
+};
+use sdc_core::trainer::StreamTrainer;
+use sdc_core::LazySchedule;
+use sdc_data::stream::TemporalStream;
+use sdc_data::synth::SynthDataset;
+use sdc_data::Sample;
+use sdc_eval::{linear_probe, LearningCurve};
+use sdc_tensor::Result;
+
+use crate::scale::ScaledSetup;
+
+/// Fixed labeled train/test pools for probing a run.
+#[derive(Debug, Clone)]
+pub struct EvalSets {
+    /// Balanced labeled pool the probe trains on.
+    pub train: Vec<Sample>,
+    /// Held-out test set.
+    pub test: Vec<Sample>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl EvalSets {
+    /// Draws balanced train/test pools from the preset's generator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors.
+    pub fn for_setup(setup: &ScaledSetup, seed: u64) -> Result<Self> {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let ds = SynthDataset::new(setup.preset.config(setup.trainer.seed));
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5eed));
+        let train = ds.balanced_set(setup.probe_train_per_class, &mut rng)?;
+        let test = ds.balanced_set(setup.probe_test_per_class, &mut rng)?;
+        Ok(Self { train, test, classes: ds.num_classes() })
+    }
+}
+
+/// Everything a finished run hands back to the caller.
+#[derive(Debug)]
+pub struct RunArtifacts {
+    /// The trainer (model, buffer, stats) after the run.
+    pub trainer: StreamTrainer,
+    /// The learning curve recorded at the checkpoints.
+    pub curve: LearningCurve,
+}
+
+/// Instantiates a policy by its paper name.
+///
+/// Accepted names: `contrast`, `random`, `fifo`, `selective-bp`,
+/// `k-center`; `contrast:T` enables lazy scoring with interval `T`;
+/// `contrast-ema:A` enables explicit score momentum with new-score
+/// weight `A` (the §IV-D conjecture made explicit).
+pub fn policy_by_name(name: &str, temperature: f32, seed: u64) -> Box<dyn ReplacementPolicy> {
+    if let Some(t) = name.strip_prefix("contrast:") {
+        let interval: u32 = t.parse().expect("lazy interval must be an integer");
+        return Box::new(ContrastScoringPolicy::with_schedule(LazySchedule::every(interval)));
+    }
+    if let Some(a) = name.strip_prefix("contrast-ema:") {
+        let alpha: f32 = a.parse().expect("momentum alpha must be a float");
+        return Box::new(ContrastScoringPolicy::with_score_momentum(alpha));
+    }
+    match name {
+        "contrast" => Box::new(ContrastScoringPolicy::new()),
+        "random" => Box::new(RandomReplacePolicy::new(seed)),
+        "fifo" => Box::new(FifoReplacePolicy::new()),
+        "selective-bp" => Box::new(SelectiveBackpropPolicy::new(temperature)),
+        "k-center" => Box::new(KCenterPolicy::new()),
+        other => panic!("unknown policy '{other}'"),
+    }
+}
+
+/// Trains one policy on the setup's stream for the configured number of
+/// iterations, without probing. Returns the trainer.
+///
+/// # Errors
+///
+/// Propagates training errors.
+pub fn train_policy(
+    setup: &ScaledSetup,
+    policy: Box<dyn ReplacementPolicy>,
+    stream_seed: u64,
+) -> Result<StreamTrainer> {
+    let ds = SynthDataset::new(setup.preset.config(setup.trainer.seed));
+    let mut stream = TemporalStream::new(ds, setup.stc, stream_seed);
+    let mut trainer = StreamTrainer::new(setup.trainer.clone(), policy);
+    trainer.run(&mut stream, setup.iterations, |_, _| {})?;
+    Ok(trainer)
+}
+
+/// Trains one policy and records a learning curve: at each checkpoint the
+/// encoder is frozen and probed with the full labeled pool (the protocol
+/// of paper Figs. 4–6).
+///
+/// # Errors
+///
+/// Propagates training and probing errors.
+pub fn run_policy_curve(
+    setup: &ScaledSetup,
+    policy: Box<dyn ReplacementPolicy>,
+    eval: &EvalSets,
+    stream_seed: u64,
+) -> Result<RunArtifacts> {
+    let ds = SynthDataset::new(setup.preset.config(setup.trainer.seed));
+    let mut stream = TemporalStream::new(ds, setup.stc, stream_seed);
+    let mut trainer = StreamTrainer::new(setup.trainer.clone(), policy);
+    let mut curve = LearningCurve::new(trainer.policy_name());
+    let every = (setup.iterations / setup.checkpoints.max(1)).max(1);
+    for _ in 0..setup.iterations {
+        let segment = stream.next_segment(setup.trainer.buffer_size)?;
+        trainer.step(segment)?;
+        if trainer.iteration() % every as u64 == 0 {
+            let result = linear_probe(
+                trainer.model_mut(),
+                &eval.train,
+                &eval.test,
+                eval.classes,
+                &setup.probe,
+            )?;
+            curve.push(trainer.seen(), result.test_accuracy);
+        }
+    }
+    Ok(RunArtifacts { trainer, curve })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ExperimentScale;
+    use sdc_data::synth::DatasetPreset;
+
+    #[test]
+    fn smoke_run_produces_curve() {
+        let setup = ScaledSetup::new(DatasetPreset::Cifar10Like, ExperimentScale::Smoke, 1);
+        let eval = EvalSets::for_setup(&setup, 1).unwrap();
+        let artifacts = run_policy_curve(
+            &setup,
+            policy_by_name("random", setup.trainer.temperature, 1),
+            &eval,
+            1,
+        )
+        .unwrap();
+        assert!(!artifacts.curve.points.is_empty());
+        assert!(artifacts.curve.final_accuracy() >= 0.0);
+        assert_eq!(artifacts.trainer.iteration() as usize, setup.iterations);
+    }
+
+    #[test]
+    fn policy_names_resolve() {
+        for name in ["contrast", "random", "fifo", "selective-bp", "k-center", "contrast:20"] {
+            let p = policy_by_name(name, 0.5, 0);
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown policy")]
+    fn unknown_policy_panics() {
+        policy_by_name("magic", 0.5, 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! # sdc-experiments
+//!
+//! Shared harness for the per-table / per-figure experiment binaries.
+//! Every binary accepts `--scale smoke|default|full` (and prints which
+//! scale ran): `smoke` verifies wiring in seconds, `default` reproduces
+//! the paper's qualitative results on CPU in minutes, `full` uses
+//! paper-sized buffers and longer streams.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod report;
+pub mod scale;
+
+pub use harness::{policy_by_name, run_policy_curve, train_policy, EvalSets, RunArtifacts};
+pub use report::{print_series, print_table};
+pub use scale::{parse_args, ExperimentScale, ScaledSetup};

@@ -1,0 +1,78 @@
+//! Plain-text table and series printing for experiment binaries.
+
+use sdc_eval::LearningCurve;
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<width$}  ", c, width = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Prints learning curves as aligned series (one row per checkpoint),
+/// the textual equivalent of the paper's figure panels.
+pub fn print_series(title: &str, curves: &[LearningCurve]) {
+    println!("\n=== {title} ===");
+    let mut header = vec!["#seen inputs".to_string()];
+    header.extend(curves.iter().map(|c| c.label.clone()));
+    println!("{}", header.join("\t"));
+    let max_points = curves.iter().map(|c| c.points.len()).max().unwrap_or(0);
+    for i in 0..max_points {
+        let seen = curves
+            .iter()
+            .filter_map(|c| c.points.get(i))
+            .map(|p| p.seen)
+            .next()
+            .unwrap_or(0);
+        let mut row = vec![format!("{seen}")];
+        for c in curves {
+            row.push(
+                c.points
+                    .get(i)
+                    .map(|p| format!("{:.2}%", p.accuracy * 100.0))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        println!("{}", row.join("\t"));
+    }
+    // Summary lines mirroring the claims the paper reads off the figures.
+    for c in curves {
+        println!(
+            "final {}: {:.2}%  (best {:.2}%)",
+            c.label,
+            c.final_accuracy() * 100.0,
+            c.best_accuracy() * 100.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printing_does_not_panic() {
+        print_table("t", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let mut c = LearningCurve::new("x");
+        c.push(10, 0.5);
+        print_series("s", &[c]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Model checkpointing: a compact, versioned binary format for
+//! [`ParamStore`] snapshots.
+//!
+//! On-device learners need to persist progress across power cycles; this
+//! module serializes every parameter and buffer (names, shapes, values —
+//! gradients are transient and excluded) without any external format
+//! dependency.
+
+use sdc_tensor::{Result, Shape, Tensor, TensorError};
+
+use crate::param::ParamStore;
+
+const MAGIC: &[u8; 4] = b"SDC1";
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    put_u32(out, t.shape().rank() as u32);
+    for &d in t.shape().dims() {
+        put_u32(out, d as u32);
+    }
+    for &v in t.data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(TensorError::InvalidArgument {
+                op: "checkpoint_load",
+                message: "truncated checkpoint".into(),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let b = self.take(len)?;
+        String::from_utf8(b.to_vec()).map_err(|_| TensorError::InvalidArgument {
+            op: "checkpoint_load",
+            message: "invalid utf-8 in name".into(),
+        })
+    }
+
+    fn tensor(&mut self) -> Result<Tensor> {
+        let rank = self.u32()? as usize;
+        let dims: Vec<usize> = (0..rank).map(|_| self.u32().map(|v| v as usize)).collect::<Result<_>>()?;
+        let shape = Shape::new(dims);
+        let n = shape.num_elements();
+        let raw = self.take(n * 4)?;
+        let data = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Tensor::from_vec(shape, data)
+    }
+}
+
+/// Serializes a store's parameters and buffers.
+pub fn save_store(store: &ParamStore) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, store.params().len() as u32);
+    for p in store.params() {
+        put_str(&mut out, &p.name);
+        put_tensor(&mut out, &p.value);
+    }
+    put_u32(&mut out, store.buffers().len() as u32);
+    for b in store.buffers() {
+        put_str(&mut out, &b.name);
+        put_tensor(&mut out, &b.value);
+    }
+    out
+}
+
+/// Restores parameter and buffer *values* into an existing store with
+/// the same layout (names must match in order — i.e. the same model
+/// architecture).
+///
+/// # Errors
+///
+/// Returns an error if the checkpoint is malformed, the entry count or
+/// any name/shape differs from the target store.
+pub fn load_store(store: &mut ParamStore, bytes: &[u8]) -> Result<()> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(TensorError::InvalidArgument {
+            op: "checkpoint_load",
+            message: "bad magic: not an SDC checkpoint".into(),
+        });
+    }
+    let n_params = r.u32()? as usize;
+    if n_params != store.params().len() {
+        return Err(TensorError::InvalidArgument {
+            op: "checkpoint_load",
+            message: format!(
+                "checkpoint has {n_params} params, store has {}",
+                store.params().len()
+            ),
+        });
+    }
+    // Read everything first so a failure cannot leave the store
+    // half-restored.
+    let mut params = Vec::with_capacity(n_params);
+    for _ in 0..n_params {
+        let name = r.string()?;
+        let value = r.tensor()?;
+        params.push((name, value));
+    }
+    let n_buffers = r.u32()? as usize;
+    if n_buffers != store.buffers().len() {
+        return Err(TensorError::InvalidArgument {
+            op: "checkpoint_load",
+            message: format!(
+                "checkpoint has {n_buffers} buffers, store has {}",
+                store.buffers().len()
+            ),
+        });
+    }
+    let mut buffers = Vec::with_capacity(n_buffers);
+    for _ in 0..n_buffers {
+        let name = r.string()?;
+        let value = r.tensor()?;
+        buffers.push((name, value));
+    }
+    for (i, (name, value)) in params.iter().enumerate() {
+        let p = &store.params()[i];
+        if &p.name != name || p.value.shape() != value.shape() {
+            return Err(TensorError::InvalidArgument {
+                op: "checkpoint_load",
+                message: format!("param {i} mismatch: {} vs {name}", p.name),
+            });
+        }
+    }
+    for (i, (name, value)) in params.into_iter().enumerate() {
+        let _ = name;
+        store.params_mut()[i].value = value;
+    }
+    for (i, (name, value)) in buffers.into_iter().enumerate() {
+        let b = store.buffer_mut(crate::param::BufferId::from_index(i));
+        if b.name != name || b.value.shape() != value.shape() {
+            return Err(TensorError::InvalidArgument {
+                op: "checkpoint_load",
+                message: format!("buffer {i} mismatch: {} vs {name}", b.name),
+            });
+        }
+        b.value = value;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn store_with_content(seed: u64) -> ParamStore {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        store.add_param("layer.weight", Tensor::randn([4, 3], 1.0, &mut rng));
+        store.add_param("layer.bias", Tensor::randn([4], 1.0, &mut rng));
+        store.add_buffer("bn.running_mean", Tensor::randn([4], 1.0, &mut rng));
+        store
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_values() {
+        let source = store_with_content(1);
+        let bytes = save_store(&source);
+        let mut target = store_with_content(2);
+        assert_ne!(source.params()[0].value, target.params()[0].value);
+        load_store(&mut target, &bytes).unwrap();
+        for (a, b) in source.params().iter().zip(target.params()) {
+            assert_eq!(a.value, b.value);
+        }
+        assert_eq!(source.buffers()[0].value, target.buffers()[0].value);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut target = store_with_content(1);
+        assert!(load_store(&mut target, b"NOPE....").is_err());
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected_without_corruption() {
+        let source = store_with_content(3);
+        let bytes = save_store(&source);
+        let mut target = store_with_content(4);
+        let before = target.params()[0].value.clone();
+        assert!(load_store(&mut target, &bytes[..bytes.len() - 5]).is_err());
+        // Failed load must leave the store untouched.
+        assert_eq!(target.params()[0].value, before);
+    }
+
+    #[test]
+    fn architecture_mismatch_is_rejected() {
+        let source = store_with_content(5);
+        let bytes = save_store(&source);
+        let mut other = ParamStore::new();
+        other.add_param("different", Tensor::zeros([2]));
+        assert!(load_store(&mut other, &bytes).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Exponential moving average of model weights (momentum encoder).
+//!
+//! MoCo (He et al. 2020, cited by the paper as [8]) maintains a slowly
+//! moving copy of the encoder: `θ_ema ← m·θ_ema + (1 − m)·θ`. The paper
+//! conjectures its lazy scoring works for the same reason (stale =
+//! momentum-smoothed). This tracker lets downstream users score with an
+//! EMA model — a natural extension of the paper's framework.
+
+use sdc_tensor::{Result, TensorError};
+
+use crate::param::ParamStore;
+
+/// EMA tracker over a [`ParamStore`]'s parameters and buffers.
+#[derive(Debug, Clone)]
+pub struct EmaTracker {
+    momentum: f32,
+    shadow: ParamStore,
+}
+
+impl EmaTracker {
+    /// Creates a tracker initialized to a copy of `store`, with decay
+    /// `momentum` (the weight of the *old* shadow; MoCo uses 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum` is not in `[0, 1)`.
+    pub fn new(store: &ParamStore, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Self { momentum, shadow: store.clone() }
+    }
+
+    /// The decay factor.
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// The EMA weights (usable anywhere a `ParamStore` is).
+    pub fn shadow(&self) -> &ParamStore {
+        &self.shadow
+    }
+
+    /// Mutable access to the EMA weights (e.g. to forward through them).
+    pub fn shadow_mut(&mut self) -> &mut ParamStore {
+        &mut self.shadow
+    }
+
+    /// Blends the live weights into the shadow:
+    /// `shadow ← m·shadow + (1 − m)·live`. Buffers (running statistics)
+    /// are copied directly, as in MoCo.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stores' layouts no longer match.
+    pub fn update(&mut self, live: &ParamStore) -> Result<()> {
+        if live.params().len() != self.shadow.params().len()
+            || live.buffers().len() != self.shadow.buffers().len()
+        {
+            return Err(TensorError::InvalidArgument {
+                op: "ema_update",
+                message: "live store layout differs from shadow".into(),
+            });
+        }
+        let m = self.momentum;
+        for (i, p) in live.params().iter().enumerate() {
+            let sp = &mut self.shadow.params_mut()[i];
+            if sp.value.shape() != p.value.shape() {
+                return Err(TensorError::ShapeMismatch {
+                    op: "ema_update",
+                    lhs: sp.value.shape().clone(),
+                    rhs: p.value.shape().clone(),
+                });
+            }
+            for (s, &l) in sp.value.data_mut().iter_mut().zip(p.value.data()) {
+                *s = m * *s + (1.0 - m) * l;
+            }
+        }
+        for i in 0..live.buffers().len() {
+            let value = live.buffers()[i].value.clone();
+            self.shadow.buffer_mut(crate::param::BufferId::from_index(i)).value = value;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdc_tensor::Tensor;
+
+    fn store(v: f32) -> ParamStore {
+        let mut s = ParamStore::new();
+        s.add_param("w", Tensor::full([2], v));
+        s.add_buffer("rm", Tensor::full([2], v));
+        s
+    }
+
+    #[test]
+    fn update_blends_toward_live() {
+        let live = store(1.0);
+        let mut ema = EmaTracker::new(&store(0.0), 0.9);
+        ema.update(&live).unwrap();
+        assert!((ema.shadow().params()[0].value.data()[0] - 0.1).abs() < 1e-6);
+        // Buffers copy directly.
+        assert_eq!(ema.shadow().buffers()[0].value.data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn repeated_updates_converge_to_live() {
+        let live = store(2.0);
+        let mut ema = EmaTracker::new(&store(0.0), 0.5);
+        for _ in 0..30 {
+            ema.update(&live).unwrap();
+        }
+        assert!((ema.shadow().params()[0].value.data()[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_momentum_copies_live() {
+        let live = store(3.0);
+        let mut ema = EmaTracker::new(&store(0.0), 0.0);
+        ema.update(&live).unwrap();
+        assert_eq!(ema.shadow().params()[0].value.data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn layout_mismatch_is_rejected() {
+        let mut other = ParamStore::new();
+        other.add_param("x", Tensor::zeros([1]));
+        let mut ema = EmaTracker::new(&store(0.0), 0.5);
+        assert!(ema.update(&other).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn invalid_momentum_panics() {
+        EmaTracker::new(&store(0.0), 1.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! 2-D convolution layer.
+
+use rand::{Rng, RngExt};
+use sdc_tensor::{Result, Tensor, VarId};
+
+use crate::init::{conv_fan_in, he_normal};
+use crate::module::{Forward, Module};
+use crate::param::{ParamId, ParamStore};
+
+/// A 2-D convolution with square kernels.
+///
+/// Weight shape is `(c_out, c_in, k, k)`; bias is optional and usually
+/// omitted when the convolution is followed by batch normalization.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: ParamId,
+    bias: Option<ParamId>,
+    stride: usize,
+    padding: usize,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-normal weights.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng + RngExt + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        bias: bool,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = conv_fan_in(in_channels, kernel);
+        let weight = store.add_param(
+            format!("{name}.weight"),
+            he_normal([out_channels, in_channels, kernel, kernel], fan_in, rng),
+        );
+        let bias =
+            bias.then(|| store.add_param(format!("{name}.bias"), Tensor::zeros([out_channels])));
+        Self { weight, bias, stride, padding, in_channels, out_channels, kernel }
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Handle to the weight parameter.
+    pub fn weight(&self) -> ParamId {
+        self.weight
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&self, ctx: &mut Forward<'_>, x: VarId) -> Result<VarId> {
+        let w = ctx.bindings.bind(ctx.graph, ctx.store, self.weight);
+        let b = self.bias.map(|bid| ctx.bindings.bind(ctx.graph, ctx.store, bid));
+        ctx.graph.conv2d(x, w, b, self.stride, self.padding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Bindings;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sdc_tensor::Graph;
+
+    #[test]
+    fn output_shape_follows_stride_and_padding() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let conv = Conv2d::new(&mut store, "c", 3, 8, 3, 2, 1, false, &mut rng);
+        let mut g = Graph::new();
+        let mut bind = Bindings::new();
+        let mut ctx = Forward::new(&mut g, &mut store, &mut bind, true);
+        let x = ctx.graph.leaf(Tensor::zeros([2, 3, 8, 8]));
+        let y = conv.forward(&mut ctx, x).unwrap();
+        assert_eq!(g.value(y).shape().dims(), &[2, 8, 4, 4]);
+    }
+
+    #[test]
+    fn gradient_reaches_conv_weight() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let conv = Conv2d::new(&mut store, "c", 1, 2, 3, 1, 1, true, &mut rng);
+        let mut g = Graph::new();
+        let mut bind = Bindings::new();
+        let mut ctx = Forward::new(&mut g, &mut store, &mut bind, true);
+        let x = ctx.graph.leaf(Tensor::ones([1, 1, 4, 4]));
+        let y = conv.forward(&mut ctx, x).unwrap();
+        let loss = g.mean_all(y);
+        g.backward(loss).unwrap();
+        bind.accumulate_grads(&g, &mut store);
+        assert!(store.param(conv.weight()).grad.norm() > 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Dropout layer.
+//!
+//! The graph-level [`Graph::dropout`](sdc_tensor::Graph::dropout) takes
+//! an explicit mask; this layer draws the mask from an interior seeded
+//! RNG so it composes like any other module. Inactive (identity) in
+//! evaluation mode.
+
+use std::cell::RefCell;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sdc_tensor::{Result, VarId};
+
+use crate::module::{Forward, Module};
+
+/// Inverted dropout with keep probability `1 - p`.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: RefCell<StdRng>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer dropping activations with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Self { p, rng: RefCell::new(StdRng::seed_from_u64(seed)) }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Module for Dropout {
+    fn forward(&self, ctx: &mut Forward<'_>, x: VarId) -> Result<VarId> {
+        if !ctx.train || self.p == 0.0 {
+            return Ok(x);
+        }
+        let n = ctx.graph.value(x).len();
+        let keep_prob = 1.0 - self.p;
+        let mask: Vec<bool> = {
+            let mut rng = self.rng.borrow_mut();
+            (0..n).map(|_| rng.random::<f32>() >= self.p).collect()
+        };
+        ctx.graph.dropout(x, mask, keep_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{Bindings, ParamStore};
+    use sdc_tensor::{Graph, Tensor};
+
+    fn run(p: f32, train: bool) -> Tensor {
+        let layer = Dropout::new(p, 7);
+        let mut g = Graph::new();
+        let mut store = ParamStore::new();
+        let mut bind = Bindings::new();
+        let mut ctx = Forward::new(&mut g, &mut store, &mut bind, train);
+        let x = ctx.graph.leaf(Tensor::ones([1000]));
+        let y = layer.forward(&mut ctx, x).unwrap();
+        g.value(y).clone()
+    }
+
+    #[test]
+    fn eval_mode_is_identity() {
+        assert_eq!(run(0.5, false).data(), Tensor::ones([1000]).data());
+    }
+
+    #[test]
+    fn train_mode_zeroes_about_p_and_rescales() {
+        let y = run(0.5, true);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        assert!((400..600).contains(&zeros), "{zeros} zeros");
+        // Expectation preserved: mean stays near 1.
+        assert!((y.mean() - 1.0).abs() < 0.1, "mean {}", y.mean());
+        // Kept values are scaled by 1/keep.
+        let kept = y.data().iter().find(|&&v| v != 0.0).unwrap();
+        assert!((kept - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_train() {
+        assert_eq!(run(0.0, true).data(), Tensor::ones([1000]).data());
+    }
+}

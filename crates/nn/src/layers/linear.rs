@@ -1,0 +1,134 @@
+//! Fully connected layer.
+
+use rand::{Rng, RngExt};
+use sdc_tensor::{Result, Tensor, VarId};
+
+use crate::init::he_normal;
+use crate::module::{Forward, Module};
+use crate::param::{ParamId, ParamStore};
+
+/// A fully connected layer: `y = x Wᵀ + b` with `W: (out, in)`.
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use sdc_nn::{layers::Linear, Bindings, Forward, Module, ParamStore};
+/// use sdc_tensor::{Graph, Tensor};
+///
+/// let mut store = ParamStore::new();
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let fc = Linear::new(&mut store, "fc", 4, 2, true, &mut rng);
+///
+/// let mut g = Graph::new();
+/// let mut bind = Bindings::new();
+/// let mut ctx = Forward::new(&mut g, &mut store, &mut bind, true);
+/// let x = ctx.graph.leaf(Tensor::ones([3, 4]));
+/// let y = fc.forward(&mut ctx, x)?;
+/// assert_eq!(ctx.graph.value(y).shape().dims(), &[3, 2]);
+/// # Ok::<(), sdc_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: ParamId,
+    bias: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a linear layer with He-normal weights and zero bias.
+    pub fn new<R: Rng + RngExt + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut R,
+    ) -> Self {
+        let weight =
+            store.add_param(format!("{name}.weight"), he_normal([out_dim, in_dim], in_dim, rng));
+        let bias = bias.then(|| store.add_param(format!("{name}.bias"), Tensor::zeros([out_dim])));
+        Self { weight, bias, in_dim, out_dim }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Handle to the weight parameter.
+    pub fn weight(&self) -> ParamId {
+        self.weight
+    }
+
+    /// Handle to the bias parameter, if any.
+    pub fn bias(&self) -> Option<ParamId> {
+        self.bias
+    }
+}
+
+impl Module for Linear {
+    fn forward(&self, ctx: &mut Forward<'_>, x: VarId) -> Result<VarId> {
+        let w = ctx.bindings.bind(ctx.graph, ctx.store, self.weight);
+        let mut y = ctx.graph.matmul_nt(x, w)?;
+        if let Some(bias) = self.bias {
+            let b = ctx.bindings.bind(ctx.graph, ctx.store, bias);
+            y = ctx.graph.add_bias(y, b)?;
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Bindings;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sdc_tensor::Graph;
+
+    fn run_linear(bias: bool) -> Tensor {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let fc = Linear::new(&mut store, "fc", 3, 2, bias, &mut rng);
+        // Overwrite with known values.
+        store.param_mut(fc.weight()).value =
+            Tensor::from_vec([2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]).unwrap();
+        if let Some(b) = fc.bias() {
+            store.param_mut(b).value = Tensor::from_vec([2], vec![10.0, 20.0]).unwrap();
+        }
+        let mut g = Graph::new();
+        let mut bind = Bindings::new();
+        let mut ctx = Forward::new(&mut g, &mut store, &mut bind, true);
+        let x = ctx.graph.leaf(Tensor::from_vec([1, 3], vec![1.0, 2.0, 3.0]).unwrap());
+        let y = fc.forward(&mut ctx, x).unwrap();
+        g.value(y).clone()
+    }
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        assert_eq!(run_linear(false).data(), &[1.0, 5.0]);
+        assert_eq!(run_linear(true).data(), &[11.0, 25.0]);
+    }
+
+    #[test]
+    fn gradients_flow_to_weight_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let fc = Linear::new(&mut store, "fc", 3, 2, true, &mut rng);
+        let mut g = Graph::new();
+        let mut bind = Bindings::new();
+        let mut ctx = Forward::new(&mut g, &mut store, &mut bind, true);
+        let x = ctx.graph.leaf(Tensor::ones([4, 3]));
+        let y = fc.forward(&mut ctx, x).unwrap();
+        let loss = g.mean_all(y);
+        g.backward(loss).unwrap();
+        bind.accumulate_grads(&g, &mut store);
+        assert!(store.param(fc.weight()).grad.norm() > 0.0);
+        assert!(store.param(fc.bias().unwrap()).grad.norm() > 0.0);
+    }
+}

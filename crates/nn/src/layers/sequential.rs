@@ -1,0 +1,109 @@
+//! Sequential container and an average-pool layer.
+
+use sdc_tensor::{Result, VarId};
+
+use crate::module::{Forward, Module};
+
+/// Runs boxed modules in order.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Module>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential").field("layers", &self.layers.len()).finish()
+    }
+}
+
+impl Sequential {
+    /// Creates an empty (identity) container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer, builder-style.
+    pub fn push(mut self, layer: impl Module + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&self, ctx: &mut Forward<'_>, x: VarId) -> Result<VarId> {
+        let mut h = x;
+        for layer in &self.layers {
+            h = layer.forward(ctx, h)?;
+        }
+        Ok(h)
+    }
+}
+
+/// Windowed average pooling as a module.
+#[derive(Debug, Clone, Copy)]
+pub struct AvgPool2d {
+    /// Window size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        Self { kernel, stride }
+    }
+}
+
+impl Module for AvgPool2d {
+    fn forward(&self, ctx: &mut Forward<'_>, x: VarId) -> Result<VarId> {
+        ctx.graph.avg_pool2d(x, self.kernel, self.stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Relu;
+    use crate::param::{Bindings, ParamStore};
+    use sdc_tensor::{Graph, Tensor};
+
+    #[test]
+    fn sequential_applies_in_order() {
+        let stack = Sequential::new().push(Relu).push(AvgPool2d::new(2, 2));
+        assert_eq!(stack.len(), 2);
+        let mut g = Graph::new();
+        let mut store = ParamStore::new();
+        let mut bind = Bindings::new();
+        let mut ctx = Forward::new(&mut g, &mut store, &mut bind, true);
+        let x = ctx.graph.leaf(
+            Tensor::from_vec([1, 1, 2, 2], vec![-4.0, 2.0, 6.0, -8.0]).unwrap(),
+        );
+        let y = stack.forward(&mut ctx, x).unwrap();
+        // relu: [0, 2, 6, 0] -> avg = 2.
+        assert_eq!(g.value(y).data(), &[2.0]);
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let stack = Sequential::new();
+        assert!(stack.is_empty());
+        let mut g = Graph::new();
+        let mut store = ParamStore::new();
+        let mut bind = Bindings::new();
+        let mut ctx = Forward::new(&mut g, &mut store, &mut bind, true);
+        let x = ctx.graph.leaf(Tensor::ones([3]));
+        let y = stack.forward(&mut ctx, x).unwrap();
+        assert_eq!(x, y);
+    }
+}

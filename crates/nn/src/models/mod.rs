@@ -1,0 +1,9 @@
+//! Model architectures: residual encoder, projection head, classifier.
+
+mod classifier;
+mod encoder;
+mod projection;
+
+pub use classifier::LinearClassifier;
+pub use encoder::{EncoderConfig, ResNetEncoder};
+pub use projection::ProjectionHead;

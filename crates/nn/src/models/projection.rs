@@ -1,0 +1,74 @@
+//! SimCLR-style projection head.
+
+use rand::{Rng, RngExt};
+use sdc_tensor::{Result, VarId};
+
+use crate::layers::Linear;
+use crate::module::{Forward, Module};
+use crate::param::ParamStore;
+
+/// The projection head `g(·)` from SimCLR: a 2-layer MLP mapping encoder
+/// features `h` into the latent space `z = g(h)` where the contrastive
+/// loss (and the paper's contrast score) operates.
+#[derive(Debug, Clone)]
+pub struct ProjectionHead {
+    fc1: Linear,
+    fc2: Linear,
+}
+
+impl ProjectionHead {
+    /// Creates a projection head `in_dim -> hidden_dim -> out_dim`.
+    pub fn new<R: Rng + RngExt + ?Sized>(
+        store: &mut ParamStore,
+        in_dim: usize,
+        hidden_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let fc1 = Linear::new(store, "projector.fc1", in_dim, hidden_dim, true, rng);
+        let fc2 = Linear::new(store, "projector.fc2", hidden_dim, out_dim, false, rng);
+        Self { fc1, fc2 }
+    }
+
+    /// Latent (output) dimension.
+    pub fn out_dim(&self) -> usize {
+        self.fc2.out_dim()
+    }
+
+    /// Input (feature) dimension.
+    pub fn in_dim(&self) -> usize {
+        self.fc1.in_dim()
+    }
+}
+
+impl Module for ProjectionHead {
+    fn forward(&self, ctx: &mut Forward<'_>, h: VarId) -> Result<VarId> {
+        let mut z = self.fc1.forward(ctx, h)?;
+        z = ctx.graph.relu(z);
+        self.fc2.forward(ctx, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Bindings;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sdc_tensor::{Graph, Tensor};
+
+    #[test]
+    fn projects_to_latent_dim() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let head = ProjectionHead::new(&mut store, 16, 32, 8, &mut rng);
+        assert_eq!(head.in_dim(), 16);
+        assert_eq!(head.out_dim(), 8);
+        let mut g = Graph::new();
+        let mut bind = Bindings::new();
+        let mut ctx = Forward::new(&mut g, &mut store, &mut bind, true);
+        let h = ctx.graph.leaf(Tensor::randn([4, 16], 1.0, &mut rng));
+        let z = head.forward(&mut ctx, h).unwrap();
+        assert_eq!(g.value(z).shape().dims(), &[4, 8]);
+    }
+}

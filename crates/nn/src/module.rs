@@ -1,0 +1,74 @@
+//! The module abstraction: layers that build graph nodes from inputs.
+
+use sdc_tensor::{Graph, Result, VarId};
+
+use crate::param::{Bindings, ParamStore};
+
+/// Mutable context threaded through a forward pass.
+///
+/// Bundles the graph being built, the parameter store (mutable because
+/// batch-norm updates running statistics during training), the per-step
+/// [`Bindings`], and the train/eval mode flag.
+#[derive(Debug)]
+pub struct Forward<'a> {
+    /// Graph under construction.
+    pub graph: &'a mut Graph,
+    /// Model parameters and buffers.
+    pub store: &'a mut ParamStore,
+    /// Parameter → leaf bindings for this step.
+    pub bindings: &'a mut Bindings,
+    /// `true` during training (batch statistics, running-stat updates).
+    pub train: bool,
+}
+
+impl<'a> Forward<'a> {
+    /// Creates a forward context.
+    pub fn new(
+        graph: &'a mut Graph,
+        store: &'a mut ParamStore,
+        bindings: &'a mut Bindings,
+        train: bool,
+    ) -> Self {
+        Self { graph, store, bindings, train }
+    }
+}
+
+/// A neural-network building block.
+///
+/// Modules own [`ParamId`](crate::ParamId)s into a shared
+/// [`ParamStore`]; calling [`Module::forward`] appends this module's
+/// computation to the context's graph and returns the output node.
+pub trait Module {
+    /// Appends the module's computation to `ctx.graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the
+    /// module's configuration.
+    fn forward(&self, ctx: &mut Forward<'_>, x: VarId) -> Result<VarId>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdc_tensor::Tensor;
+
+    struct Doubler;
+    impl Module for Doubler {
+        fn forward(&self, ctx: &mut Forward<'_>, x: VarId) -> Result<VarId> {
+            Ok(ctx.graph.scale(x, 2.0))
+        }
+    }
+
+    #[test]
+    fn modules_compose_through_context() {
+        let mut graph = Graph::new();
+        let mut store = ParamStore::new();
+        let mut bindings = Bindings::new();
+        let mut ctx = Forward::new(&mut graph, &mut store, &mut bindings, true);
+        let x = ctx.graph.leaf(Tensor::ones([2]));
+        let y = Doubler.forward(&mut ctx, x).unwrap();
+        let z = Doubler.forward(&mut ctx, y).unwrap();
+        assert_eq!(ctx.graph.value(z).data(), &[4.0, 4.0]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Gradient clipping.
+
+use crate::param::ParamStore;
+
+/// Clips the global gradient norm to `max_norm`, returning the norm
+/// observed *before* clipping. A no-op when the norm is already within
+/// bounds.
+///
+/// # Panics
+///
+/// Panics if `max_norm` is not positive.
+pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let norm = store.grad_norm();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in store.params_mut() {
+            p.grad.data_mut().iter_mut().for_each(|g| *g *= scale);
+        }
+    }
+    norm
+}
+
+/// Clips every gradient element to `[-max_value, +max_value]`.
+///
+/// # Panics
+///
+/// Panics if `max_value` is not positive.
+pub fn clip_grad_value(store: &mut ParamStore, max_value: f32) {
+    assert!(max_value > 0.0, "max_value must be positive");
+    for p in store.params_mut() {
+        p.grad.data_mut().iter_mut().for_each(|g| *g = g.clamp(-max_value, max_value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdc_tensor::Tensor;
+
+    fn store_with_grad(g: &[f32]) -> ParamStore {
+        let mut store = ParamStore::new();
+        let id = store.add_param("w", Tensor::zeros([g.len()]));
+        store.param_mut(id).grad = Tensor::from_vec([g.len()], g.to_vec()).unwrap();
+        store
+    }
+
+    #[test]
+    fn norm_clip_rescales_to_max() {
+        let mut store = store_with_grad(&[3.0, 4.0]); // norm 5
+        let before = clip_grad_norm(&mut store, 1.0);
+        assert!((before - 5.0).abs() < 1e-6);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+        // Direction preserved.
+        let g = &store.params()[0].grad;
+        assert!((g.data()[0] / g.data()[1] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn norm_clip_is_noop_within_bound() {
+        let mut store = store_with_grad(&[0.3, 0.4]);
+        clip_grad_norm(&mut store, 1.0);
+        assert_eq!(store.params()[0].grad.data(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn value_clip_saturates_elements() {
+        let mut store = store_with_grad(&[-5.0, 0.1, 2.0]);
+        clip_grad_value(&mut store, 1.0);
+        assert_eq!(store.params()[0].grad.data(), &[-1.0, 0.1, 1.0]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Learning-rate schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule: maps a step index to a multiplier of the
+/// base learning rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant multiplier 1.
+    Constant,
+    /// Multiply by `gamma` every `step_size` steps.
+    Step {
+        /// Steps between decays.
+        step_size: u64,
+        /// Per-decay multiplier.
+        gamma: f32,
+    },
+    /// Cosine annealing from 1 down to `min_factor` over `total_steps`.
+    Cosine {
+        /// Horizon of the anneal.
+        total_steps: u64,
+        /// Floor multiplier at the end of the horizon.
+        min_factor: f32,
+    },
+    /// Linear warmup from `start_factor` to 1 over `warmup_steps`, then
+    /// constant.
+    Warmup {
+        /// Warmup duration.
+        warmup_steps: u64,
+        /// Initial multiplier.
+        start_factor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning-rate multiplier at `step` (0-based).
+    pub fn factor(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Step { step_size, gamma } => {
+                gamma.powi((step / step_size.max(1)) as i32)
+            }
+            LrSchedule::Cosine { total_steps, min_factor } => {
+                let t = (step.min(total_steps) as f32) / total_steps.max(1) as f32;
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                min_factor + (1.0 - min_factor) * cos
+            }
+            LrSchedule::Warmup { warmup_steps, start_factor } => {
+                if step >= warmup_steps {
+                    1.0
+                } else {
+                    let t = step as f32 / warmup_steps.max(1) as f32;
+                    start_factor + (1.0 - start_factor) * t
+                }
+            }
+        }
+    }
+
+    /// The absolute learning rate at `step` for a given base rate.
+    pub fn learning_rate(&self, base_lr: f32, step: u64) -> f32 {
+        base_lr * self.factor(step)
+    }
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        LrSchedule::Constant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        assert_eq!(LrSchedule::Constant.factor(0), 1.0);
+        assert_eq!(LrSchedule::Constant.factor(1_000_000), 1.0);
+    }
+
+    #[test]
+    fn step_decays_by_gamma() {
+        let s = LrSchedule::Step { step_size: 10, gamma: 0.5 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_starts_high_ends_at_floor() {
+        let s = LrSchedule::Cosine { total_steps: 100, min_factor: 0.1 };
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        assert!((s.factor(100) - 0.1).abs() < 1e-6);
+        assert!((s.factor(200) - 0.1).abs() < 1e-6, "clamped past horizon");
+        // Monotone decreasing on the horizon.
+        assert!(s.factor(25) > s.factor(50));
+        assert!(s.factor(50) > s.factor(75));
+    }
+
+    #[test]
+    fn warmup_rises_linearly_then_holds() {
+        let s = LrSchedule::Warmup { warmup_steps: 10, start_factor: 0.0 };
+        assert_eq!(s.factor(0), 0.0);
+        assert!((s.factor(5) - 0.5).abs() < 1e-6);
+        assert_eq!(s.factor(10), 1.0);
+        assert_eq!(s.factor(99), 1.0);
+    }
+
+    #[test]
+    fn learning_rate_scales_base() {
+        let s = LrSchedule::Step { step_size: 1, gamma: 0.1 };
+        assert!((s.learning_rate(0.2, 1) - 0.02).abs() < 1e-8);
+    }
+}

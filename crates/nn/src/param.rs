@@ -1,0 +1,248 @@
+//! Parameter and buffer storage shared by all layers.
+//!
+//! Parameters live *outside* the autodiff graph. Each training step binds
+//! them into a fresh [`Graph`] as leaves via [`Bindings`], runs
+//! forward/backward, then pulls gradients back into the store where the
+//! optimizer consumes them.
+
+use sdc_tensor::{Graph, Tensor, VarId};
+use serde::{Deserialize, Serialize};
+
+/// Handle to a trainable parameter in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(usize);
+
+/// Handle to a non-trainable buffer (e.g. batch-norm running statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BufferId(usize);
+
+impl BufferId {
+    /// Rebuilds a handle from a registration index (used by checkpoint
+    /// restore, which walks buffers in order).
+    pub(crate) fn from_index(i: usize) -> Self {
+        Self(i)
+    }
+}
+
+/// A named trainable tensor with its accumulated gradient.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Parameter {
+    /// Dotted path identifying the parameter (e.g. `encoder.stem.weight`).
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+}
+
+/// A named non-trainable tensor (running statistics and the like).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Buffer {
+    /// Dotted path identifying the buffer.
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+}
+
+/// Owner of all parameters and buffers of a model.
+///
+/// ```
+/// use sdc_nn::ParamStore;
+/// use sdc_tensor::Tensor;
+///
+/// let mut store = ParamStore::new();
+/// let w = store.add_param("w", Tensor::zeros([2, 2]));
+/// assert_eq!(store.param(w).value.len(), 4);
+/// assert_eq!(store.num_trainable(), 4);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Parameter>,
+    buffers: Vec<Buffer>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a trainable parameter initialized to `value`.
+    pub fn add_param(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.shape().clone());
+        self.params.push(Parameter { name: name.into(), value, grad });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Registers a non-trainable buffer initialized to `value`.
+    pub fn add_buffer(&mut self, name: impl Into<String>, value: Tensor) -> BufferId {
+        self.buffers.push(Buffer { name: name.into(), value });
+        BufferId(self.buffers.len() - 1)
+    }
+
+    /// Immutable access to a parameter.
+    pub fn param(&self, id: ParamId) -> &Parameter {
+        &self.params[id.0]
+    }
+
+    /// Mutable access to a parameter.
+    pub fn param_mut(&mut self, id: ParamId) -> &mut Parameter {
+        &mut self.params[id.0]
+    }
+
+    /// Immutable access to a buffer.
+    pub fn buffer(&self, id: BufferId) -> &Buffer {
+        &self.buffers[id.0]
+    }
+
+    /// Mutable access to a buffer.
+    pub fn buffer_mut(&mut self, id: BufferId) -> &mut Buffer {
+        &mut self.buffers[id.0]
+    }
+
+    /// All parameters, in registration order.
+    pub fn params(&self) -> &[Parameter] {
+        &self.params
+    }
+
+    /// All buffers, in registration order.
+    pub fn buffers(&self) -> &[Buffer] {
+        &self.buffers
+    }
+
+    /// All parameters, mutably.
+    pub fn params_mut(&mut self) -> &mut [Parameter] {
+        &mut self.params
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Total number of trainable scalar values.
+    pub fn num_trainable(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.fill(0.0);
+        }
+    }
+
+    /// Global ℓ2 norm of all gradients, useful for debugging and clipping.
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| p.grad.data().iter().map(|&g| g * g).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+/// Per-step mapping from parameters to the graph leaves they were bound
+/// to, used to read gradients back after the reverse sweep.
+#[derive(Debug, Default)]
+pub struct Bindings {
+    bound: Vec<(ParamId, VarId)>,
+}
+
+impl Bindings {
+    /// Creates an empty binding set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts the current value of `param` into `graph` as a leaf and
+    /// remembers the pairing. Binding the same parameter twice is allowed;
+    /// both leaves' gradients are accumulated.
+    pub fn bind(&mut self, graph: &mut Graph, store: &ParamStore, param: ParamId) -> VarId {
+        let id = graph.leaf(store.param(param).value.clone());
+        self.bound.push((param, id));
+        id
+    }
+
+    /// Adds each bound leaf's gradient into the corresponding parameter's
+    /// `grad` accumulator. Leaves the graph untouched.
+    pub fn accumulate_grads(&self, graph: &Graph, store: &mut ParamStore) {
+        for &(pid, vid) in &self.bound {
+            if let Some(g) = graph.grad(vid) {
+                store.param_mut(pid).grad.add_assign_scaled(g, 1.0);
+            }
+        }
+    }
+
+    /// Number of bound parameters.
+    pub fn len(&self) -> usize {
+        self.bound.len()
+    }
+
+    /// Whether no parameters are bound.
+    pub fn is_empty(&self) -> bool {
+        self.bound.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_roundtrip() {
+        let mut store = ParamStore::new();
+        let w = store.add_param("w", Tensor::ones([2, 3]));
+        let b = store.add_buffer("running", Tensor::zeros([3]));
+        assert_eq!(store.param(w).name, "w");
+        assert_eq!(store.buffer(b).value.len(), 3);
+        assert_eq!(store.num_params(), 1);
+        assert_eq!(store.num_trainable(), 6);
+    }
+
+    #[test]
+    fn zero_grads_clears_accumulators() {
+        let mut store = ParamStore::new();
+        let w = store.add_param("w", Tensor::ones([2]));
+        store.param_mut(w).grad = Tensor::full([2], 3.0);
+        store.zero_grads();
+        assert_eq!(store.param(w).grad.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn bindings_pull_gradients_back() {
+        let mut store = ParamStore::new();
+        let w = store.add_param("w", Tensor::from_vec([2], vec![1.0, -2.0]).unwrap());
+        let mut g = Graph::new();
+        let mut bind = Bindings::new();
+        let wid = bind.bind(&mut g, &store, w);
+        let y = g.scale(wid, 2.0);
+        let loss = g.sum_all(y);
+        g.backward(loss).unwrap();
+        bind.accumulate_grads(&g, &mut store);
+        assert_eq!(store.param(w).grad.data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn double_binding_accumulates_both_paths() {
+        let mut store = ParamStore::new();
+        let w = store.add_param("w", Tensor::ones([1]));
+        let mut g = Graph::new();
+        let mut bind = Bindings::new();
+        let a = bind.bind(&mut g, &store, w);
+        let b = bind.bind(&mut g, &store, w);
+        let s = g.add(a, b).unwrap();
+        let loss = g.sum_all(s);
+        g.backward(loss).unwrap();
+        bind.accumulate_grads(&g, &mut store);
+        assert_eq!(store.param(w).grad.data(), &[2.0]);
+    }
+
+    #[test]
+    fn grad_norm_is_euclidean() {
+        let mut store = ParamStore::new();
+        let w = store.add_param("w", Tensor::zeros([2]));
+        store.param_mut(w).grad = Tensor::from_vec([2], vec![3.0, 4.0]).unwrap();
+        assert!((store.grad_norm() - 5.0).abs() < 1e-6);
+    }
+}

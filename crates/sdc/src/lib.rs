@@ -1,0 +1,38 @@
+//! # sdc
+//!
+//! Umbrella crate for the *Selective Data Contrast* (DAC 2021)
+//! reproduction: re-exports the full stack under one dependency.
+//!
+//! * [`tensor`] — CPU tensors + reverse-mode autodiff.
+//! * [`nn`] — layers, the residual encoder, optimizers.
+//! * [`data`] — synthetic datasets, STC streams, augmentations.
+//! * [`core`] — contrast scoring, replacement policies, the on-device
+//!   trainer (the paper's contribution).
+//! * [`eval`] — linear/kNN probes, supervised baseline, learning curves.
+//!
+//! ```
+//! use sdc::core::{ContrastScoringPolicy, StreamTrainer, TrainerConfig};
+//! use sdc::core::model::ModelConfig;
+//! use sdc::data::stream::TemporalStream;
+//! use sdc::data::synth::{SynthConfig, SynthDataset};
+//! use sdc::nn::models::EncoderConfig;
+//!
+//! let config = TrainerConfig {
+//!     buffer_size: 4,
+//!     model: ModelConfig { encoder: EncoderConfig::tiny(), projection_hidden: 8, projection_dim: 4, seed: 0 },
+//!     ..TrainerConfig::default()
+//! };
+//! let mut trainer = StreamTrainer::new(config, Box::new(ContrastScoringPolicy::new()));
+//! let ds = SynthDataset::new(SynthConfig { classes: 3, height: 8, width: 8, ..SynthConfig::default() });
+//! let mut stream = TemporalStream::new(ds, 4, 0);
+//! trainer.run(&mut stream, 2, |_, _| {})?;
+//! # Ok::<(), sdc::tensor::TensorError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use sdc_core as core;
+pub use sdc_data as data;
+pub use sdc_eval as eval;
+pub use sdc_nn as nn;
+pub use sdc_tensor as tensor;

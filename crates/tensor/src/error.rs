@@ -1,0 +1,112 @@
+//! Error type for tensor operations.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::Shape;
+
+/// Errors produced by tensor construction and graph operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// The data length does not match the number of elements in the shape.
+    DataLengthMismatch {
+        /// Requested shape.
+        shape: Shape,
+        /// Provided data length.
+        len: usize,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Name of the operation.
+        op: &'static str,
+        /// Left-hand / first operand shape.
+        lhs: Shape,
+        /// Right-hand / second operand shape.
+        rhs: Shape,
+    },
+    /// The operand has the wrong rank for the attempted operation.
+    RankMismatch {
+        /// Name of the operation.
+        op: &'static str,
+        /// Expected rank.
+        expected: usize,
+        /// Actual shape.
+        actual: Shape,
+    },
+    /// A reshape changes the number of elements.
+    ReshapeSizeMismatch {
+        /// Original shape.
+        from: Shape,
+        /// Requested shape.
+        to: Shape,
+    },
+    /// An index (class label, row index, ...) is out of bounds.
+    IndexOutOfBounds {
+        /// Name of the operation.
+        op: &'static str,
+        /// Offending index.
+        index: usize,
+        /// Exclusive bound.
+        bound: usize,
+    },
+    /// An invalid hyper-parameter (e.g. zero stride) was supplied.
+    InvalidArgument {
+        /// Name of the operation.
+        op: &'static str,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DataLengthMismatch { shape, len } => {
+                write!(f, "data length {len} does not match shape {shape}")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs} and {rhs}")
+            }
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "{op}: expected rank {expected}, got shape {actual}")
+            }
+            TensorError::ReshapeSizeMismatch { from, to } => {
+                write!(f, "cannot reshape {from} into {to}: element counts differ")
+            }
+            TensorError::IndexOutOfBounds { op, index, bound } => {
+                write!(f, "{op}: index {index} out of bounds ({bound})")
+            }
+            TensorError::InvalidArgument { op, message } => {
+                write!(f, "{op}: {message}")
+            }
+        }
+    }
+}
+
+impl StdError for TensorError {}
+
+/// Convenience result alias for tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = TensorError::ShapeMismatch {
+            op: "add",
+            lhs: Shape::from([2, 3]),
+            rhs: Shape::from([3, 2]),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("add"));
+        assert!(msg.contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

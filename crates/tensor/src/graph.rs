@@ -1,0 +1,913 @@
+//! Reverse-mode automatic differentiation on a tape of operations.
+//!
+//! A [`Graph`] is a write-once tape: every operation appends a node whose
+//! parents are earlier nodes, so node indices are already a topological
+//! order and [`Graph::backward`] is a single reverse sweep. Graphs are
+//! intended to be built fresh for every training step and dropped
+//! afterwards; parameters live outside the graph and are re-inserted as
+//! leaves each step.
+//!
+//! ```
+//! use sdc_tensor::{Graph, Tensor};
+//!
+//! let mut g = Graph::new();
+//! let x = g.leaf(Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0])?);
+//! let y = g.scale(x, 3.0);
+//! let loss = g.mean_all(y);
+//! g.backward(loss)?;
+//! // d(mean(3x))/dx = 3/4 everywhere.
+//! assert_eq!(g.grad(x).unwrap().data(), &[0.75; 4]);
+//! # Ok::<(), sdc_tensor::TensorError>(())
+//! ```
+
+use crate::error::{Result, TensorError};
+use crate::ops::conv::{conv2d_backward, conv2d_forward};
+use crate::ops::elementwise::{
+    clamp_backward, clamp_forward, div_backward, div_forward, exp_backward, exp_forward,
+    ln_backward, ln_forward, sigmoid_backward, sigmoid_forward, sqrt_backward, sqrt_forward,
+    tanh_backward, tanh_forward,
+};
+use crate::ops::reduce::{
+    mean_rows_backward, mean_rows_forward, sum_cols_backward, sum_cols_forward,
+    sum_rows_backward, sum_rows_forward,
+};
+use crate::ops::matmul::{matmul, matmul_nt, matmul_tn, transpose};
+use crate::ops::norm::{
+    batch_norm2d_backward, batch_norm2d_forward, l2_normalize_rows_backward,
+    l2_normalize_rows_forward, BnBatchStats, BnSaved,
+};
+use crate::ops::pool::{
+    avg_pool2d_backward, avg_pool2d_forward, global_avg_pool_backward, global_avg_pool_forward,
+    max_pool2d_backward, max_pool2d_forward,
+};
+use crate::ops::softmax::{log_softmax_backward, log_softmax_forward, nll_backward, nll_forward};
+use crate::{Shape, Tensor};
+
+/// Handle to a node in a [`Graph`].
+///
+/// A `VarId` is only meaningful for the graph that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The node's index on the tape (primarily for debugging).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+enum Op {
+    Leaf,
+    Add(VarId, VarId),
+    Sub(VarId, VarId),
+    Mul(VarId, VarId),
+    Scale(VarId, f32),
+    AddScalar(VarId),
+    AddBias { x: VarId, b: VarId },
+    Matmul(VarId, VarId),
+    MatmulNt(VarId, VarId),
+    Transpose(VarId),
+    Relu(VarId),
+    Conv2d { x: VarId, w: VarId, b: Option<VarId>, stride: usize, padding: usize },
+    MaxPool2d { x: VarId, argmax: Vec<u32> },
+    GlobalAvgPool(VarId),
+    BatchNorm2d { x: VarId, gamma: VarId, beta: VarId, saved: BnSaved },
+    Reshape(VarId),
+    Concat0 { a: VarId, b: VarId, split: usize },
+    L2NormalizeRows { x: VarId, norms: Vec<f32> },
+    LogSoftmax(VarId),
+    NllLoss { logp: VarId, targets: Vec<usize> },
+    MaskedFill { x: VarId, mask: Vec<bool> },
+    MeanAll(VarId),
+    SumAll(VarId),
+    Exp(VarId),
+    Ln { x: VarId, eps: f32 },
+    Sqrt(VarId),
+    Tanh(VarId),
+    Sigmoid(VarId),
+    Clamp { x: VarId, lo: f32, hi: f32 },
+    Div(VarId, VarId),
+    AvgPool2d { x: VarId, k: usize, s: usize },
+    SumRows(VarId),
+    MeanRows(VarId),
+    SumCols(VarId),
+    Dropout { x: VarId, mask: Vec<bool>, scale: f32 },
+}
+
+#[derive(Debug)]
+struct Node {
+    op: Op,
+    value: Tensor,
+    grad: Option<Tensor>,
+}
+
+/// A reverse-mode autodiff tape.
+///
+/// See the crate-level documentation for an overview and a worked
+/// example of the leaf → ops → backward → grad cycle.
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Creates an empty graph with room for `capacity` nodes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { nodes: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Inserts a value as a leaf node and returns its handle.
+    ///
+    /// Gradients accumulate on every node, so leaves representing model
+    /// parameters can be read back with [`Graph::grad`] after
+    /// [`Graph::backward`].
+    pub fn leaf(&mut self, value: Tensor) -> VarId {
+        self.push(Op::Leaf, value)
+    }
+
+    /// The value held by node `id`.
+    pub fn value(&self, id: VarId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// The gradient accumulated on node `id`, if backward has reached it.
+    pub fn grad(&self, id: VarId) -> Option<&Tensor> {
+        self.nodes[id.0].grad.as_ref()
+    }
+
+    /// Removes and returns the gradient of node `id`.
+    pub fn take_grad(&mut self, id: VarId) -> Option<Tensor> {
+        self.nodes[id.0].grad.take()
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> VarId {
+        self.nodes.push(Node { op, value, grad: None });
+        VarId(self.nodes.len() - 1)
+    }
+
+    fn binary_same_shape(
+        &mut self,
+        op_name: &'static str,
+        a: VarId,
+        b: VarId,
+        f: impl Fn(f32, f32) -> f32,
+        op: Op,
+    ) -> Result<VarId> {
+        let va = &self.nodes[a.0].value;
+        let vb = &self.nodes[b.0].value;
+        if va.shape() != vb.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: op_name,
+                lhs: va.shape().clone(),
+                rhs: vb.shape().clone(),
+            });
+        }
+        let value = va.zip_map(vb, f)?;
+        Ok(self.push(op, value))
+    }
+
+    /// Elementwise sum of two same-shaped nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes differ.
+    pub fn add(&mut self, a: VarId, b: VarId) -> Result<VarId> {
+        self.binary_same_shape("add", a, b, |x, y| x + y, Op::Add(a, b))
+    }
+
+    /// Elementwise difference `a - b` of two same-shaped nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes differ.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> Result<VarId> {
+        self.binary_same_shape("sub", a, b, |x, y| x - y, Op::Sub(a, b))
+    }
+
+    /// Elementwise product of two same-shaped nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the shapes differ.
+    pub fn mul(&mut self, a: VarId, b: VarId) -> Result<VarId> {
+        self.binary_same_shape("mul", a, b, |x, y| x * y, Op::Mul(a, b))
+    }
+
+    /// Multiplies every element by a constant.
+    pub fn scale(&mut self, x: VarId, c: f32) -> VarId {
+        let value = self.nodes[x.0].value.map(|v| v * c);
+        self.push(Op::Scale(x, c), value)
+    }
+
+    /// Adds a constant to every element.
+    pub fn add_scalar(&mut self, x: VarId, c: f32) -> VarId {
+        let value = self.nodes[x.0].value.map(|v| v + c);
+        self.push(Op::AddScalar(x), value)
+    }
+
+    /// Adds a `(d)` bias vector to every row of an `(n, d)` node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x` is not rank-2 or the widths disagree.
+    pub fn add_bias(&mut self, x: VarId, b: VarId) -> Result<VarId> {
+        let vx = &self.nodes[x.0].value;
+        let vb = &self.nodes[b.0].value;
+        let (n, d) = vx.shape().as_matrix().ok_or_else(|| TensorError::RankMismatch {
+            op: "add_bias",
+            expected: 2,
+            actual: vx.shape().clone(),
+        })?;
+        if vb.len() != d {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_bias",
+                lhs: vx.shape().clone(),
+                rhs: vb.shape().clone(),
+            });
+        }
+        let mut value = vx.clone();
+        {
+            let vd = value.data_mut();
+            let bd = vb.data();
+            for i in 0..n {
+                for j in 0..d {
+                    vd[i * d + j] += bd[j];
+                }
+            }
+        }
+        Ok(self.push(Op::AddBias { x, b }, value))
+    }
+
+    /// Matrix product `a · b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank or inner-dimension mismatches.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> Result<VarId> {
+        let value = matmul(&self.nodes[a.0].value, &self.nodes[b.0].value)?;
+        Ok(self.push(Op::Matmul(a, b), value))
+    }
+
+    /// Matrix product `a · bᵀ` — the similarity-matrix building block.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank or shared-dimension mismatches.
+    pub fn matmul_nt(&mut self, a: VarId, b: VarId) -> Result<VarId> {
+        let value = matmul_nt(&self.nodes[a.0].value, &self.nodes[b.0].value)?;
+        Ok(self.push(Op::MatmulNt(a, b), value))
+    }
+
+    /// Transpose of a rank-2 node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the node is not rank-2.
+    pub fn transpose(&mut self, x: VarId) -> Result<VarId> {
+        let value = transpose(&self.nodes[x.0].value)?;
+        Ok(self.push(Op::Transpose(x), value))
+    }
+
+    /// Rectified linear unit, `max(x, 0)` elementwise.
+    pub fn relu(&mut self, x: VarId) -> VarId {
+        let value = self.nodes[x.0].value.map(|v| v.max(0.0));
+        self.push(Op::Relu(x), value)
+    }
+
+    /// 2-D convolution of `x: (n, c_in, h, w)` with `w: (c_out, c_in, k, k)`
+    /// and optional `(c_out)` bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank/channel mismatches or zero stride.
+    pub fn conv2d(
+        &mut self,
+        x: VarId,
+        w: VarId,
+        b: Option<VarId>,
+        stride: usize,
+        padding: usize,
+    ) -> Result<VarId> {
+        let value = conv2d_forward(
+            &self.nodes[x.0].value,
+            &self.nodes[w.0].value,
+            b.map(|b| &self.nodes[b.0].value),
+            stride,
+            padding,
+        )?;
+        Ok(self.push(Op::Conv2d { x, w, b, stride, padding }, value))
+    }
+
+    /// Max pooling with square window `k` and stride `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is not rank-4 or the window is invalid.
+    pub fn max_pool2d(&mut self, x: VarId, k: usize, s: usize) -> Result<VarId> {
+        let (value, argmax) = max_pool2d_forward(&self.nodes[x.0].value, k, s)?;
+        Ok(self.push(Op::MaxPool2d { x, argmax }, value))
+    }
+
+    /// Global average pooling `(n, c, h, w) -> (n, c)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is not rank-4.
+    pub fn global_avg_pool(&mut self, x: VarId) -> Result<VarId> {
+        let value = global_avg_pool_forward(&self.nodes[x.0].value)?;
+        Ok(self.push(Op::GlobalAvgPool(x), value))
+    }
+
+    /// Batch normalization of `x: (n, c, h, w)` with per-channel `gamma`
+    /// and `beta` parameters.
+    ///
+    /// Pass `stats: None` for training mode (statistics computed from the
+    /// batch and returned) or `Some((mean, var))` for evaluation mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank/channel mismatches.
+    pub fn batch_norm2d(
+        &mut self,
+        x: VarId,
+        gamma: VarId,
+        beta: VarId,
+        eps: f32,
+        stats: Option<(&[f32], &[f32])>,
+    ) -> Result<(VarId, Option<BnBatchStats>)> {
+        let (value, saved, batch_stats) = batch_norm2d_forward(
+            &self.nodes[x.0].value,
+            &self.nodes[gamma.0].value,
+            &self.nodes[beta.0].value,
+            eps,
+            stats,
+        )?;
+        let id = self.push(Op::BatchNorm2d { x, gamma, beta, saved }, value);
+        Ok((id, batch_stats))
+    }
+
+    /// Reinterprets a node's data under a new shape with the same element
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if element counts differ.
+    pub fn reshape(&mut self, x: VarId, shape: impl Into<Shape>) -> Result<VarId> {
+        let value = self.nodes[x.0].value.reshape(shape)?;
+        Ok(self.push(Op::Reshape(x), value))
+    }
+
+    /// Concatenates two rank-2 nodes along axis 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either node is not rank-2 or widths differ.
+    pub fn concat0(&mut self, a: VarId, b: VarId) -> Result<VarId> {
+        let va = &self.nodes[a.0].value;
+        let vb = &self.nodes[b.0].value;
+        let (na, da) = va.shape().as_matrix().ok_or_else(|| TensorError::RankMismatch {
+            op: "concat0",
+            expected: 2,
+            actual: va.shape().clone(),
+        })?;
+        let (nb, db) = vb.shape().as_matrix().ok_or_else(|| TensorError::RankMismatch {
+            op: "concat0",
+            expected: 2,
+            actual: vb.shape().clone(),
+        })?;
+        if da != db {
+            return Err(TensorError::ShapeMismatch {
+                op: "concat0",
+                lhs: va.shape().clone(),
+                rhs: vb.shape().clone(),
+            });
+        }
+        let mut data = Vec::with_capacity((na + nb) * da);
+        data.extend_from_slice(va.data());
+        data.extend_from_slice(vb.data());
+        let value = Tensor::from_vec([na + nb, da], data)?;
+        Ok(self.push(Op::Concat0 { a, b, split: na * da }, value))
+    }
+
+    /// ℓ2-normalizes every row of a rank-2 node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the node is not rank-2.
+    pub fn l2_normalize_rows(&mut self, x: VarId) -> Result<VarId> {
+        let (value, norms) = l2_normalize_rows_forward(&self.nodes[x.0].value, 1e-12)?;
+        Ok(self.push(Op::L2NormalizeRows { x, norms }, value))
+    }
+
+    /// Row-wise log-softmax of a rank-2 node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the node is not rank-2.
+    pub fn log_softmax(&mut self, x: VarId) -> Result<VarId> {
+        let value = log_softmax_forward(&self.nodes[x.0].value)?;
+        Ok(self.push(Op::LogSoftmax(x), value))
+    }
+
+    /// Mean negative log-likelihood of `logp` rows at `targets`. Returns a
+    /// scalar node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on rank, length, or index violations.
+    pub fn nll_loss(&mut self, logp: VarId, targets: Vec<usize>) -> Result<VarId> {
+        let loss = nll_forward(&self.nodes[logp.0].value, &targets)?;
+        Ok(self.push(Op::NllLoss { logp, targets }, Tensor::scalar(loss)))
+    }
+
+    /// Replaces elements where `mask` is `true` with `value`; gradient is
+    /// blocked at masked positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the mask length differs from the element count.
+    pub fn masked_fill(&mut self, x: VarId, mask: Vec<bool>, value: f32) -> Result<VarId> {
+        let vx = &self.nodes[x.0].value;
+        if mask.len() != vx.len() {
+            return Err(TensorError::InvalidArgument {
+                op: "masked_fill",
+                message: format!("mask length {} != element count {}", mask.len(), vx.len()),
+            });
+        }
+        let mut out = vx.clone();
+        for (v, &m) in out.data_mut().iter_mut().zip(&mask) {
+            if m {
+                *v = value;
+            }
+        }
+        Ok(self.push(Op::MaskedFill { x, mask }, out))
+    }
+
+    /// Mean of all elements. Returns a scalar node.
+    pub fn mean_all(&mut self, x: VarId) -> VarId {
+        let value = Tensor::scalar(self.nodes[x.0].value.mean());
+        self.push(Op::MeanAll(x), value)
+    }
+
+    /// Sum of all elements. Returns a scalar node.
+    pub fn sum_all(&mut self, x: VarId) -> VarId {
+        let value = Tensor::scalar(self.nodes[x.0].value.sum());
+        self.push(Op::SumAll(x), value)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, x: VarId) -> VarId {
+        let value = exp_forward(&self.nodes[x.0].value);
+        self.push(Op::Exp(x), value)
+    }
+
+    /// Elementwise natural log of `max(x, eps)`.
+    pub fn ln(&mut self, x: VarId, eps: f32) -> VarId {
+        let value = ln_forward(&self.nodes[x.0].value, eps);
+        self.push(Op::Ln { x, eps }, value)
+    }
+
+    /// Elementwise square root of `max(x, 0)`.
+    pub fn sqrt(&mut self, x: VarId) -> VarId {
+        let value = sqrt_forward(&self.nodes[x.0].value);
+        self.push(Op::Sqrt(x), value)
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&mut self, x: VarId) -> VarId {
+        let value = tanh_forward(&self.nodes[x.0].value);
+        self.push(Op::Tanh(x), value)
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, x: VarId) -> VarId {
+        let value = sigmoid_forward(&self.nodes[x.0].value);
+        self.push(Op::Sigmoid(x), value)
+    }
+
+    /// Elementwise clamp to `[lo, hi]`; gradient is blocked outside the
+    /// open interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `lo > hi`.
+    pub fn clamp(&mut self, x: VarId, lo: f32, hi: f32) -> Result<VarId> {
+        let value = clamp_forward(&self.nodes[x.0].value, lo, hi)?;
+        Ok(self.push(Op::Clamp { x, lo, hi }, value))
+    }
+
+    /// Elementwise division `a / b` of same-shaped nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes differ.
+    pub fn div(&mut self, a: VarId, b: VarId) -> Result<VarId> {
+        let value = div_forward(&self.nodes[a.0].value, &self.nodes[b.0].value)?;
+        Ok(self.push(Op::Div(a, b), value))
+    }
+
+    /// Windowed average pooling with square window `k` and stride `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is not rank-4 or the window invalid.
+    pub fn avg_pool2d(&mut self, x: VarId, k: usize, s: usize) -> Result<VarId> {
+        let value = avg_pool2d_forward(&self.nodes[x.0].value, k, s)?;
+        Ok(self.push(Op::AvgPool2d { x, k, s }, value))
+    }
+
+    /// Row sums of a rank-2 node: `(n, d) -> (n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is not rank-2.
+    pub fn sum_rows(&mut self, x: VarId) -> Result<VarId> {
+        let value = sum_rows_forward(&self.nodes[x.0].value)?;
+        Ok(self.push(Op::SumRows(x), value))
+    }
+
+    /// Row means of a rank-2 node: `(n, d) -> (n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is not rank-2.
+    pub fn mean_rows(&mut self, x: VarId) -> Result<VarId> {
+        let value = mean_rows_forward(&self.nodes[x.0].value)?;
+        Ok(self.push(Op::MeanRows(x), value))
+    }
+
+    /// Column sums of a rank-2 node: `(n, d) -> (d)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is not rank-2.
+    pub fn sum_cols(&mut self, x: VarId) -> Result<VarId> {
+        let value = sum_cols_forward(&self.nodes[x.0].value)?;
+        Ok(self.push(Op::SumCols(x), value))
+    }
+
+    /// Inverted dropout with an explicit keep-mask: kept elements are
+    /// scaled by `1 / keep_prob` so the expectation is unchanged. The
+    /// caller supplies the mask (drawn from its seeded RNG), keeping the
+    /// graph deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the mask length differs from the element count
+    /// or `keep_prob` is not in `(0, 1]`.
+    pub fn dropout(&mut self, x: VarId, keep_mask: Vec<bool>, keep_prob: f32) -> Result<VarId> {
+        let vx = &self.nodes[x.0].value;
+        if keep_mask.len() != vx.len() {
+            return Err(TensorError::InvalidArgument {
+                op: "dropout",
+                message: format!("mask length {} != element count {}", keep_mask.len(), vx.len()),
+            });
+        }
+        if !(0.0..=1.0).contains(&keep_prob) || keep_prob == 0.0 {
+            return Err(TensorError::InvalidArgument {
+                op: "dropout",
+                message: format!("keep_prob must be in (0, 1], got {keep_prob}"),
+            });
+        }
+        let scale = 1.0 / keep_prob;
+        let mut value = vx.clone();
+        for (v, &keep) in value.data_mut().iter_mut().zip(&keep_mask) {
+            *v = if keep { *v * scale } else { 0.0 };
+        }
+        Ok(self.push(Op::Dropout { x, mask: keep_mask, scale }, value))
+    }
+
+    /// Runs the reverse sweep from `loss`, accumulating gradients on every
+    /// node that (transitively) feeds it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `loss` is not a single-element node.
+    pub fn backward(&mut self, loss: VarId) -> Result<()> {
+        if self.nodes[loss.0].value.len() != 1 {
+            return Err(TensorError::InvalidArgument {
+                op: "backward",
+                message: format!(
+                    "loss must be scalar, got shape {}",
+                    self.nodes[loss.0].value.shape()
+                ),
+            });
+        }
+        let shape = self.nodes[loss.0].value.shape().clone();
+        self.nodes[loss.0].grad = Some(Tensor::full(shape, 1.0));
+        for i in (0..=loss.0).rev() {
+            let Some(g) = self.nodes[i].grad.take() else { continue };
+            let contribs = self.backward_node(i, &g)?;
+            self.nodes[i].grad = Some(g);
+            for (pid, t) in contribs {
+                self.accumulate(pid, t);
+            }
+        }
+        Ok(())
+    }
+
+    fn accumulate(&mut self, id: usize, t: Tensor) {
+        match &mut self.nodes[id].grad {
+            Some(g) => g.add_assign_scaled(&t, 1.0),
+            slot @ None => *slot = Some(t),
+        }
+    }
+
+    fn backward_node(&self, i: usize, g: &Tensor) -> Result<Vec<(usize, Tensor)>> {
+        let node = &self.nodes[i];
+        let out = match &node.op {
+            Op::Leaf => vec![],
+            Op::Add(a, b) => vec![(a.0, g.clone()), (b.0, g.clone())],
+            Op::Sub(a, b) => vec![(a.0, g.clone()), (b.0, g.map(|v| -v))],
+            Op::Mul(a, b) => {
+                let ga = g.zip_map(&self.nodes[b.0].value, |x, y| x * y)?;
+                let gb = g.zip_map(&self.nodes[a.0].value, |x, y| x * y)?;
+                vec![(a.0, ga), (b.0, gb)]
+            }
+            Op::Scale(x, c) => vec![(x.0, g.map(|v| v * c))],
+            Op::AddScalar(x) => vec![(x.0, g.clone())],
+            Op::AddBias { x, b } => {
+                let (n, d) = g.shape().as_matrix().expect("validated in forward");
+                let mut gb = Tensor::zeros([d]);
+                let gd = g.data();
+                let gbd = gb.data_mut();
+                for r in 0..n {
+                    for j in 0..d {
+                        gbd[j] += gd[r * d + j];
+                    }
+                }
+                vec![(x.0, g.clone()), (b.0, gb)]
+            }
+            Op::Matmul(a, b) => {
+                let ga = matmul_nt(g, &self.nodes[b.0].value)?;
+                let gb = matmul_tn(&self.nodes[a.0].value, g)?;
+                vec![(a.0, ga), (b.0, gb)]
+            }
+            Op::MatmulNt(a, b) => {
+                let ga = matmul(g, &self.nodes[b.0].value)?;
+                let gb = matmul_tn(g, &self.nodes[a.0].value)?;
+                vec![(a.0, ga), (b.0, gb)]
+            }
+            Op::Transpose(x) => vec![(x.0, transpose(g)?)],
+            Op::Relu(x) => {
+                let gx = g.zip_map(&self.nodes[x.0].value, |gv, xv| if xv > 0.0 { gv } else { 0.0 })?;
+                vec![(x.0, gx)]
+            }
+            Op::Conv2d { x, w, b, stride, padding } => {
+                let (dx, dw, db) = conv2d_backward(
+                    &self.nodes[x.0].value,
+                    &self.nodes[w.0].value,
+                    g,
+                    *stride,
+                    *padding,
+                    b.is_some(),
+                )?;
+                let mut v = vec![(x.0, dx), (w.0, dw)];
+                if let (Some(bid), Some(db)) = (b, db) {
+                    v.push((bid.0, db));
+                }
+                v
+            }
+            Op::MaxPool2d { x, argmax } => {
+                let parent = &self.nodes[x.0].value;
+                let flat = max_pool2d_backward(g, argmax, parent.len());
+                vec![(x.0, flat.reshape(parent.shape().clone())?)]
+            }
+            Op::GlobalAvgPool(x) => {
+                let (n, c, h, w) =
+                    self.nodes[x.0].value.shape().as_nchw().expect("validated in forward");
+                vec![(x.0, global_avg_pool_backward(g, n, c, h, w))]
+            }
+            Op::BatchNorm2d { x, gamma, beta, saved } => {
+                let (dx, dgamma, dbeta) = batch_norm2d_backward(
+                    &self.nodes[x.0].value,
+                    &self.nodes[gamma.0].value,
+                    saved,
+                    g,
+                );
+                vec![(x.0, dx), (gamma.0, dgamma), (beta.0, dbeta)]
+            }
+            Op::Reshape(x) => {
+                vec![(x.0, g.reshape(self.nodes[x.0].value.shape().clone())?)]
+            }
+            Op::Concat0 { a, b, split } => {
+                let ga = Tensor::from_vec(
+                    self.nodes[a.0].value.shape().clone(),
+                    g.data()[..*split].to_vec(),
+                )?;
+                let gb = Tensor::from_vec(
+                    self.nodes[b.0].value.shape().clone(),
+                    g.data()[*split..].to_vec(),
+                )?;
+                vec![(a.0, ga), (b.0, gb)]
+            }
+            Op::L2NormalizeRows { x, norms } => {
+                vec![(x.0, l2_normalize_rows_backward(&node.value, norms, g))]
+            }
+            Op::LogSoftmax(x) => vec![(x.0, log_softmax_backward(&node.value, g))],
+            Op::NllLoss { logp, targets } => {
+                let (n, d) = self.nodes[logp.0].value.shape().as_matrix().expect("validated");
+                vec![(logp.0, nll_backward((n, d), targets, g.item()))]
+            }
+            Op::MaskedFill { x, mask } => {
+                let mut gx = g.clone();
+                for (v, &m) in gx.data_mut().iter_mut().zip(mask) {
+                    if m {
+                        *v = 0.0;
+                    }
+                }
+                vec![(x.0, gx)]
+            }
+            Op::MeanAll(x) => {
+                let parent = &self.nodes[x.0].value;
+                let v = g.item() / parent.len() as f32;
+                vec![(x.0, Tensor::full(parent.shape().clone(), v))]
+            }
+            Op::SumAll(x) => {
+                let parent = &self.nodes[x.0].value;
+                vec![(x.0, Tensor::full(parent.shape().clone(), g.item()))]
+            }
+            Op::Exp(x) => vec![(x.0, exp_backward(&node.value, g))],
+            Op::Ln { x, eps } => vec![(x.0, ln_backward(&self.nodes[x.0].value, g, *eps))],
+            Op::Sqrt(x) => vec![(x.0, sqrt_backward(&node.value, g))],
+            Op::Tanh(x) => vec![(x.0, tanh_backward(&node.value, g))],
+            Op::Sigmoid(x) => vec![(x.0, sigmoid_backward(&node.value, g))],
+            Op::Clamp { x, lo, hi } => {
+                vec![(x.0, clamp_backward(&self.nodes[x.0].value, g, *lo, *hi))]
+            }
+            Op::Div(a, b) => {
+                let (da, db) = div_backward(&self.nodes[a.0].value, &self.nodes[b.0].value, g);
+                vec![(a.0, da), (b.0, db)]
+            }
+            Op::AvgPool2d { x, k, s } => {
+                let (n, c, h, w) =
+                    self.nodes[x.0].value.shape().as_nchw().expect("validated in forward");
+                vec![(x.0, avg_pool2d_backward(g, n, c, h, w, *k, *s))]
+            }
+            Op::SumRows(x) => {
+                let (n, d) = self.nodes[x.0].value.shape().as_matrix().expect("validated");
+                vec![(x.0, sum_rows_backward(g, n, d))]
+            }
+            Op::MeanRows(x) => {
+                let (n, d) = self.nodes[x.0].value.shape().as_matrix().expect("validated");
+                vec![(x.0, mean_rows_backward(g, n, d))]
+            }
+            Op::SumCols(x) => {
+                let (n, d) = self.nodes[x.0].value.shape().as_matrix().expect("validated");
+                vec![(x.0, sum_cols_backward(g, n, d))]
+            }
+            Op::Dropout { x, mask, scale } => {
+                let mut gx = g.clone();
+                for (v, &keep) in gx.data_mut().iter_mut().zip(mask) {
+                    *v = if keep { *v * scale } else { 0.0 };
+                }
+                vec![(x.0, gx)]
+            }
+        };
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(data: &[f32]) -> Tensor {
+        Tensor::from_vec([2, 2], data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn add_backward_distributes_gradient() {
+        let mut g = Graph::new();
+        let a = g.leaf(t2(&[1.0, 2.0, 3.0, 4.0]));
+        let b = g.leaf(t2(&[5.0, 6.0, 7.0, 8.0]));
+        let s = g.add(a, b).unwrap();
+        let loss = g.sum_all(s);
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(a).unwrap().data(), &[1.0; 4]);
+        assert_eq!(g.grad(b).unwrap().data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn mul_backward_swaps_operands() {
+        let mut g = Graph::new();
+        let a = g.leaf(t2(&[1.0, 2.0, 3.0, 4.0]));
+        let b = g.leaf(t2(&[5.0, 6.0, 7.0, 8.0]));
+        let p = g.mul(a, b).unwrap();
+        let loss = g.sum_all(p);
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(a).unwrap().data(), &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_backward_shapes() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::ones([2, 3]));
+        let b = g.leaf(Tensor::ones([3, 4]));
+        let c = g.matmul(a, b).unwrap();
+        let loss = g.sum_all(c);
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(a).unwrap().shape().dims(), &[2, 3]);
+        assert_eq!(g.grad(b).unwrap().shape().dims(), &[3, 4]);
+        // d(sum(A·B))/dA = ones·Bᵀ: each entry = 4 (row-sum of ones(3,4)ᵀ).
+        assert_eq!(g.grad(a).unwrap().data(), &[4.0; 6]);
+        assert_eq!(g.grad(b).unwrap().data(), &[2.0; 12]);
+    }
+
+    #[test]
+    fn relu_blocks_negative_gradient() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec([3], vec![-1.0, 0.0, 2.0]).unwrap());
+        let y = g.relu(x);
+        let loss = g.sum_all(y);
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(x).unwrap().data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn reused_node_accumulates_gradient() {
+        // loss = sum(x + x) should give dx = 2.
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::ones([2]));
+        let s = g.add(x, x).unwrap();
+        let loss = g.sum_all(s);
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(x).unwrap().data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_requires_scalar_loss() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::ones([2]));
+        assert!(g.backward(x).is_err());
+    }
+
+    #[test]
+    fn concat0_splits_gradient() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::ones([1, 2]));
+        let b = g.leaf(Tensor::ones([2, 2]));
+        let c = g.concat0(a, b).unwrap();
+        assert_eq!(g.value(c).shape().dims(), &[3, 2]);
+        let scaled = g.scale(c, 3.0);
+        let loss = g.sum_all(scaled);
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(a).unwrap().data(), &[3.0, 3.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[3.0; 4]);
+    }
+
+    #[test]
+    fn masked_fill_blocks_gradient() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap());
+        let m = g.masked_fill(x, vec![true, false, false, true], -9.0).unwrap();
+        assert_eq!(g.value(m).data(), &[-9.0, 2.0, 3.0, -9.0]);
+        let loss = g.sum_all(m);
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(x).unwrap().data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn nll_of_log_softmax_runs_end_to_end() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec([2, 3], vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5]).unwrap());
+        let lp = g.log_softmax(x).unwrap();
+        let loss = g.nll_loss(lp, vec![0, 2]).unwrap();
+        assert!(g.value(loss).item() > 0.0);
+        g.backward(loss).unwrap();
+        // Gradient rows of fused CE sum to zero.
+        let gx = g.grad(x).unwrap();
+        for r in 0..2 {
+            let s: f32 = gx.row(r).iter().sum();
+            assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn grad_values_survive_take() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::ones([2]));
+        let loss = g.sum_all(x);
+        g.backward(loss).unwrap();
+        let taken = g.take_grad(x).unwrap();
+        assert_eq!(taken.data(), &[1.0, 1.0]);
+        assert!(g.grad(x).is_none());
+    }
+}

@@ -1,0 +1,340 @@
+//! 2-D convolution kernels via im2col / col2im.
+
+use crate::error::{Result, TensorError};
+use crate::Tensor;
+
+/// Output spatial size for a convolution along one axis.
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    (input + 2 * padding - kernel) / stride + 1
+}
+
+/// Unfolds `x: (n, c, h, w)` into a matrix of shape
+/// `(n * oh * ow, c * kh * kw)` whose rows are receptive-field patches.
+///
+/// Out-of-bounds (padding) positions contribute zeros.
+pub fn im2col(
+    x: &Tensor,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor> {
+    let (n, c, h, w) = x
+        .shape()
+        .as_nchw()
+        .ok_or_else(|| TensorError::RankMismatch { op: "im2col", expected: 4, actual: x.shape().clone() })?;
+    let oh = conv_out_dim(h, kernel, stride, padding);
+    let ow = conv_out_dim(w, kernel, stride, padding);
+    let patch = c * kernel * kernel;
+    let mut cols = Tensor::zeros([n * oh * ow, patch]);
+    let xd = x.data();
+    let cd = cols.data_mut();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * patch;
+                for ci in 0..c {
+                    for ky in 0..kernel {
+                        let iy = (oy * stride + ky) as isize - padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kernel {
+                            let ix = (ox * stride + kx) as isize - padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let src = ((ni * c + ci) * h + iy as usize) * w + ix as usize;
+                            let dst = row + (ci * kernel + ky) * kernel + kx;
+                            cd[dst] = xd[src];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(cols)
+}
+
+/// Folds a column matrix produced by [`im2col`] back into an image batch,
+/// accumulating overlapping contributions. This is the adjoint of `im2col`
+/// and is used to compute input gradients.
+pub fn col2im(
+    cols: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor> {
+    let oh = conv_out_dim(h, kernel, stride, padding);
+    let ow = conv_out_dim(w, kernel, stride, padding);
+    let patch = c * kernel * kernel;
+    let expected = [n * oh * ow, patch];
+    if cols.shape().dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            op: "col2im",
+            lhs: cols.shape().clone(),
+            rhs: expected.into(),
+        });
+    }
+    let mut x = Tensor::zeros([n, c, h, w]);
+    let cd = cols.data();
+    let xd = x.data_mut();
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * patch;
+                for ci in 0..c {
+                    for ky in 0..kernel {
+                        let iy = (oy * stride + ky) as isize - padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kernel {
+                            let ix = (ox * stride + kx) as isize - padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let dst = ((ni * c + ci) * h + iy as usize) * w + ix as usize;
+                            let src = row + (ci * kernel + ky) * kernel + kx;
+                            xd[dst] += cd[src];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(x)
+}
+
+/// Forward 2-D convolution.
+///
+/// * `x`: `(n, c_in, h, w)`
+/// * `weight`: `(c_out, c_in, k, k)`
+/// * `bias`: optional `(c_out)`
+///
+/// Returns `(n, c_out, oh, ow)`.
+///
+/// # Errors
+///
+/// Returns an error on rank or channel mismatches.
+pub fn conv2d_forward(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    padding: usize,
+) -> Result<Tensor> {
+    let (n, c_in, h, w) = x
+        .shape()
+        .as_nchw()
+        .ok_or_else(|| TensorError::RankMismatch { op: "conv2d", expected: 4, actual: x.shape().clone() })?;
+    let (c_out, wc_in, k, k2) = weight.shape().as_nchw().ok_or_else(|| TensorError::RankMismatch {
+        op: "conv2d",
+        expected: 4,
+        actual: weight.shape().clone(),
+    })?;
+    if wc_in != c_in || k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: x.shape().clone(),
+            rhs: weight.shape().clone(),
+        });
+    }
+    if stride == 0 {
+        return Err(TensorError::InvalidArgument { op: "conv2d", message: "stride must be nonzero".into() });
+    }
+    let oh = conv_out_dim(h, k, stride, padding);
+    let ow = conv_out_dim(w, k, stride, padding);
+    let patch = c_in * k * k;
+
+    // (n*oh*ow, patch) x (patch, c_out) -> (n*oh*ow, c_out)
+    let cols = im2col(x, k, stride, padding)?;
+    let wmat = weight.reshape([c_out, patch])?;
+    let prod = super::matmul::matmul_nt(&cols, &wmat)?;
+
+    // Rearrange (n*oh*ow, c_out) into (n, c_out, oh, ow), adding bias.
+    let mut out = Tensor::zeros([n, c_out, oh, ow]);
+    let pd = prod.data();
+    let od = out.data_mut();
+    let bd = bias.map(Tensor::data);
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * c_out;
+                for co in 0..c_out {
+                    let b = bd.map_or(0.0, |b| b[co]);
+                    od[((ni * c_out + co) * oh + oy) * ow + ox] = pd[row + co] + b;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward 2-D convolution. Given the output gradient `gy` of shape
+/// `(n, c_out, oh, ow)`, returns `(dx, dw, db)`.
+///
+/// The im2col matrix is recomputed rather than cached: for the small
+/// feature maps this library targets, the recomputation is cheaper than
+/// holding every convolution's unfolded input alive for the whole
+/// forward pass.
+pub fn conv2d_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    gy: &Tensor,
+    stride: usize,
+    padding: usize,
+    want_bias: bool,
+) -> Result<(Tensor, Tensor, Option<Tensor>)> {
+    let (n, c_in, h, w) = x.shape().as_nchw().expect("conv2d_backward: x validated in forward");
+    let (c_out, _, k, _) = weight.shape().as_nchw().expect("conv2d_backward: w validated in forward");
+    let (gn, gc, oh, ow) = gy.shape().as_nchw().ok_or_else(|| TensorError::RankMismatch {
+        op: "conv2d_backward",
+        expected: 4,
+        actual: gy.shape().clone(),
+    })?;
+    if gn != n || gc != c_out {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward",
+            lhs: gy.shape().clone(),
+            rhs: [n, c_out, oh, ow].into(),
+        });
+    }
+    let patch = c_in * k * k;
+
+    // Rearrange gy (n, c_out, oh, ow) -> (n*oh*ow, c_out).
+    let mut gmat = Tensor::zeros([n * oh * ow, c_out]);
+    {
+        let gd = gy.data();
+        let gm = gmat.data_mut();
+        for ni in 0..n {
+            for co in 0..c_out {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        gm[((ni * oh + oy) * ow + ox) * c_out + co] =
+                            gd[((ni * c_out + co) * oh + oy) * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+
+    let cols = im2col(x, k, stride, padding)?;
+    // dW: (c_out, patch) = gmatᵀ · cols
+    let dw_mat = super::matmul::matmul_tn(&gmat, &cols)?;
+    let dw = dw_mat.reshape([c_out, c_in, k, k])?;
+    // dcols: (n*oh*ow, patch) = gmat · Wmat
+    let wmat = weight.reshape([c_out, patch])?;
+    let dcols = super::matmul::matmul(&gmat, &wmat)?;
+    let dx = col2im(&dcols, n, c_in, h, w, k, stride, padding)?;
+
+    let db = if want_bias {
+        let mut db = Tensor::zeros([c_out]);
+        let gd = gy.data();
+        let dbd = db.data_mut();
+        for ni in 0..n {
+            for co in 0..c_out {
+                let base = ((ni * c_out + co) * oh) * ow;
+                dbd[co] += gd[base..base + oh * ow].iter().sum::<f32>();
+            }
+        }
+        Some(db)
+    } else {
+        None
+    };
+    Ok((dx, dw, db))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dim_formula() {
+        assert_eq!(conv_out_dim(8, 3, 1, 1), 8);
+        assert_eq!(conv_out_dim(8, 3, 2, 1), 4);
+        assert_eq!(conv_out_dim(5, 3, 1, 0), 3);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 kernel with weight 1 acts as identity.
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let w = Tensor::from_vec([1, 1, 1, 1], vec![1.0]).unwrap();
+        let y = conv2d_forward(&x, &w, None, 1, 0).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // All-ones 3x3 kernel over a 3x3 image of ones with padding 1:
+        // centre sees 9 ones, edges 6, corners 4.
+        let x = Tensor::ones([1, 1, 3, 3]);
+        let w = Tensor::ones([1, 1, 3, 3]);
+        let y = conv2d_forward(&x, &w, None, 1, 1).unwrap();
+        assert_eq!(
+            y.data(),
+            &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let x = Tensor::zeros([1, 1, 2, 2]);
+        let w = Tensor::zeros([2, 1, 1, 1]);
+        let b = Tensor::from_vec([2], vec![0.5, -1.5]).unwrap();
+        let y = conv2d_forward(&x, &w, Some(&b), 1, 0).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2, 2, 2]);
+        assert_eq!(y.data()[..4], [0.5; 4]);
+        assert_eq!(y.data()[4..], [-1.5; 4]);
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let x = Tensor::ones([1, 1, 4, 4]);
+        let w = Tensor::ones([1, 1, 1, 1]);
+        let y = conv2d_forward(&x, &w, None, 2, 0).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), c> == <x, col2im(c)> for random x, c — the defining
+        // property of an adjoint pair, which backward relies on.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::randn([2, 3, 5, 5], 1.0, &mut rng);
+        let cols = im2col(&x, 3, 2, 1).unwrap();
+        let c = Tensor::randn(cols.shape().clone(), 1.0, &mut rng);
+        let lhs: f32 = cols.data().iter().zip(c.data()).map(|(a, b)| a * b).sum();
+        let folded = col2im(&c, 2, 3, 5, 5, 3, 2, 1).unwrap();
+        let rhs: f32 = x.data().iter().zip(folded.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn backward_shapes_match_operands() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::randn([2, 3, 6, 6], 1.0, &mut rng);
+        let w = Tensor::randn([4, 3, 3, 3], 0.1, &mut rng);
+        let y = conv2d_forward(&x, &w, None, 2, 1).unwrap();
+        let gy = Tensor::ones(y.shape().clone());
+        let (dx, dw, db) = conv2d_backward(&x, &w, &gy, 2, 1, true).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+        assert_eq!(dw.shape(), w.shape());
+        assert_eq!(db.unwrap().shape().dims(), &[4]);
+    }
+
+    #[test]
+    fn zero_stride_is_rejected() {
+        let x = Tensor::zeros([1, 1, 2, 2]);
+        let w = Tensor::zeros([1, 1, 1, 1]);
+        assert!(conv2d_forward(&x, &w, None, 0, 0).is_err());
+    }
+}

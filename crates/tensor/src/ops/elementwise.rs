@@ -1,0 +1,158 @@
+//! Elementwise kernels with closed-form derivatives.
+//!
+//! These back the [`Graph`](crate::Graph) unary ops: `exp`, `ln`,
+//! `sqrt`, `tanh`, `sigmoid`, `clamp`, and elementwise division.
+
+use crate::error::{Result, TensorError};
+use crate::Tensor;
+
+/// `y = exp(x)`.
+pub fn exp_forward(x: &Tensor) -> Tensor {
+    x.map(f32::exp)
+}
+
+/// Backward of `exp`: `dx = gy * y`.
+pub fn exp_backward(y: &Tensor, gy: &Tensor) -> Tensor {
+    gy.zip_map(y, |g, yv| g * yv).expect("same shape by construction")
+}
+
+/// `y = ln(max(x, eps))` — clamped to keep the log finite.
+pub fn ln_forward(x: &Tensor, eps: f32) -> Tensor {
+    x.map(|v| v.max(eps).ln())
+}
+
+/// Backward of `ln`: `dx = gy / max(x, eps)`.
+pub fn ln_backward(x: &Tensor, gy: &Tensor, eps: f32) -> Tensor {
+    gy.zip_map(x, |g, xv| g / xv.max(eps)).expect("same shape by construction")
+}
+
+/// `y = sqrt(max(x, 0))`.
+pub fn sqrt_forward(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0).sqrt())
+}
+
+/// Backward of `sqrt`: `dx = gy / (2·sqrt(x))`, 0 at the origin.
+pub fn sqrt_backward(y: &Tensor, gy: &Tensor) -> Tensor {
+    gy.zip_map(y, |g, yv| if yv > 0.0 { g / (2.0 * yv) } else { 0.0 })
+        .expect("same shape by construction")
+}
+
+/// `y = tanh(x)`.
+pub fn tanh_forward(x: &Tensor) -> Tensor {
+    x.map(f32::tanh)
+}
+
+/// Backward of `tanh`: `dx = gy * (1 - y²)`.
+pub fn tanh_backward(y: &Tensor, gy: &Tensor) -> Tensor {
+    gy.zip_map(y, |g, yv| g * (1.0 - yv * yv)).expect("same shape by construction")
+}
+
+/// `y = 1 / (1 + exp(-x))`.
+pub fn sigmoid_forward(x: &Tensor) -> Tensor {
+    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Backward of `sigmoid`: `dx = gy * y * (1 - y)`.
+pub fn sigmoid_backward(y: &Tensor, gy: &Tensor) -> Tensor {
+    gy.zip_map(y, |g, yv| g * yv * (1.0 - yv)).expect("same shape by construction")
+}
+
+/// `y = clamp(x, lo, hi)`.
+///
+/// # Errors
+///
+/// Returns an error if `lo > hi`.
+pub fn clamp_forward(x: &Tensor, lo: f32, hi: f32) -> Result<Tensor> {
+    if lo > hi {
+        return Err(TensorError::InvalidArgument {
+            op: "clamp",
+            message: format!("lo {lo} > hi {hi}"),
+        });
+    }
+    Ok(x.map(|v| v.clamp(lo, hi)))
+}
+
+/// Backward of `clamp`: gradient passes only inside the interval.
+pub fn clamp_backward(x: &Tensor, gy: &Tensor, lo: f32, hi: f32) -> Tensor {
+    gy.zip_map(x, |g, xv| if xv > lo && xv < hi { g } else { 0.0 })
+        .expect("same shape by construction")
+}
+
+/// Elementwise division `a / b` (no zero-guard: callers clamp `b`).
+///
+/// # Errors
+///
+/// Returns an error if shapes differ.
+pub fn div_forward(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.zip_map(b, |x, y| x / y)
+}
+
+/// Backward of division: `da = gy / b`, `db = -gy * a / b²`.
+pub fn div_backward(a: &Tensor, b: &Tensor, gy: &Tensor) -> (Tensor, Tensor) {
+    let da = gy.zip_map(b, |g, bv| g / bv).expect("same shape");
+    let db_part = gy.zip_map(a, |g, av| g * av).expect("same shape");
+    let db = db_part.zip_map(b, |g, bv| -g / (bv * bv)).expect("same shape");
+    (da, db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32]) -> Tensor {
+        Tensor::from_vec([data.len()], data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn exp_roundtrips_with_ln() {
+        let x = t(&[0.5, 1.0, 2.0]);
+        let back = ln_forward(&exp_forward(&x), 1e-12);
+        for (a, b) in back.data().iter().zip(x.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sigmoid_saturates_correctly() {
+        let y = sigmoid_forward(&t(&[-20.0, 0.0, 20.0]));
+        assert!(y.data()[0] < 1e-6);
+        assert!((y.data()[1] - 0.5).abs() < 1e-6);
+        assert!(y.data()[2] > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn tanh_backward_is_one_at_origin() {
+        let x = t(&[0.0]);
+        let y = tanh_forward(&x);
+        let dx = tanh_backward(&y, &t(&[1.0]));
+        assert!((dx.data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clamp_blocks_gradient_outside() {
+        let x = t(&[-2.0, 0.5, 3.0]);
+        let y = clamp_forward(&x, 0.0, 1.0).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.5, 1.0]);
+        let dx = clamp_backward(&x, &t(&[1.0, 1.0, 1.0]), 0.0, 1.0);
+        assert_eq!(dx.data(), &[0.0, 1.0, 0.0]);
+        assert!(clamp_forward(&x, 2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn div_matches_quotient_rule() {
+        let a = t(&[4.0]);
+        let b = t(&[2.0]);
+        let (da, db) = div_backward(&a, &b, &t(&[1.0]));
+        assert!((da.data()[0] - 0.5).abs() < 1e-6);
+        assert!((db.data()[0] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sqrt_handles_zero() {
+        let y = sqrt_forward(&t(&[0.0, 4.0]));
+        assert_eq!(y.data(), &[0.0, 2.0]);
+        let dx = sqrt_backward(&y, &t(&[1.0, 1.0]));
+        assert_eq!(dx.data()[0], 0.0);
+        assert!((dx.data()[1] - 0.25).abs() < 1e-6);
+    }
+}

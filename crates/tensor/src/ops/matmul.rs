@@ -1,0 +1,190 @@
+//! Dense matrix-multiplication kernels.
+//!
+//! These are the plain-value kernels; differentiable wrappers live on
+//! [`Graph`](crate::Graph). All kernels use an `i-k-j` loop order so the
+//! innermost loop walks both operands contiguously.
+
+use crate::error::{Result, TensorError};
+use crate::Tensor;
+
+/// `C = A · B` for `A: (n, k)`, `B: (k, m)`.
+///
+/// # Errors
+///
+/// Returns an error if either operand is not rank-2 or the inner
+/// dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (n, k) = a.shape().as_matrix().ok_or_else(|| rank_err("matmul", a))?;
+    let (kb, m) = b.shape().as_matrix().ok_or_else(|| rank_err("matmul", b))?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let mut out = Tensor::zeros([n, m]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..n {
+        for p in 0..k {
+            let aip = ad[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * m..(p + 1) * m];
+            let orow = &mut od[i * m..(i + 1) * m];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aip * bv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `C = A · Bᵀ` for `A: (n, k)`, `B: (m, k)`.
+///
+/// # Errors
+///
+/// Returns an error if either operand is not rank-2 or the shared
+/// dimension disagrees.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (n, k) = a.shape().as_matrix().ok_or_else(|| rank_err("matmul_nt", a))?;
+    let (m, kb) = b.shape().as_matrix().ok_or_else(|| rank_err("matmul_nt", b))?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_nt",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let mut out = Tensor::zeros([n, m]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..n {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..m {
+            let brow = &bd[j * k..(j + 1) * k];
+            od[i * m + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+        }
+    }
+    Ok(out)
+}
+
+/// `C = Aᵀ · B` for `A: (k, n)`, `B: (k, m)` — used by backward passes.
+///
+/// # Errors
+///
+/// Returns an error if either operand is not rank-2 or the shared
+/// dimension disagrees.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, n) = a.shape().as_matrix().ok_or_else(|| rank_err("matmul_tn", a))?;
+    let (kb, m) = b.shape().as_matrix().ok_or_else(|| rank_err("matmul_tn", b))?;
+    if k != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_tn",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let mut out = Tensor::zeros([n, m]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for p in 0..k {
+        let arow = &ad[p * n..(p + 1) * n];
+        let brow = &bd[p * m..(p + 1) * m];
+        for i in 0..n {
+            let aip = arow[i];
+            if aip == 0.0 {
+                continue;
+            }
+            let orow = &mut od[i * m..(i + 1) * m];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aip * bv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Transpose of a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns an error if the operand is not rank-2.
+pub fn transpose(a: &Tensor) -> Result<Tensor> {
+    let (n, m) = a.shape().as_matrix().ok_or_else(|| rank_err("transpose", a))?;
+    let mut out = Tensor::zeros([m, n]);
+    let ad = a.data();
+    let od = out.data_mut();
+    for i in 0..n {
+        for j in 0..m {
+            od[j * n + i] = ad[i * m + j];
+        }
+    }
+    Ok(out)
+}
+
+fn rank_err(op: &'static str, t: &Tensor) -> TensorError {
+    TensorError::RankMismatch { op, expected: 2, actual: t.shape().clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: [usize; 2], data: &[f32]) -> Tensor {
+        Tensor::from_vec(shape, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t([2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t([3, 2], &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_inner_dim() {
+        let a = t([2, 3], &[0.0; 6]);
+        let b = t([2, 3], &[0.0; 6]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = t([2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t([4, 3], &[0.5, -1.0, 2.0, 1.0, 1.0, 1.0, 0.0, 0.0, 1.0, -2.0, 3.0, 0.5]);
+        let via_nt = matmul_nt(&a, &b).unwrap();
+        let via_t = matmul(&a, &transpose(&b).unwrap()).unwrap();
+        assert_eq!(via_nt, via_t);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = t([3, 2], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t([3, 4], &[0.5, -1.0, 2.0, 1.0, 1.0, 1.0, 0.0, 0.0, 1.0, -2.0, 3.0, 0.5]);
+        let via_tn = matmul_tn(&a, &b).unwrap();
+        let via_t = matmul(&transpose(&a).unwrap(), &b).unwrap();
+        assert_eq!(via_tn, via_t);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = t([2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let back = transpose(&transpose(&a).unwrap()).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = t([2, 2], &[3.0, 1.0, -2.0, 5.0]);
+        let eye = t([2, 2], &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(matmul(&a, &eye).unwrap(), a);
+        assert_eq!(matmul(&eye, &a).unwrap(), a);
+    }
+}

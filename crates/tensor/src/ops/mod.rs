@@ -1,0 +1,13 @@
+//! Plain-value computation kernels.
+//!
+//! Each submodule provides forward/backward kernel pairs operating on
+//! [`Tensor`](crate::Tensor) values. The differentiable API that chains
+//! them into a graph lives on [`Graph`](crate::Graph).
+
+pub mod conv;
+pub mod elementwise;
+pub mod matmul;
+pub mod norm;
+pub mod pool;
+pub mod reduce;
+pub mod softmax;

@@ -1,0 +1,161 @@
+//! Tensor shapes and index arithmetic.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The dimensions of a [`Tensor`](crate::Tensor).
+///
+/// A shape is an ordered list of dimension sizes. Rank-0 shapes (scalars)
+/// are represented by an empty dimension list and have one element.
+///
+/// ```
+/// use sdc_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.num_elements(), 24);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a list of dimension sizes.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Self { dims }
+    }
+
+    /// The scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Self { dims: Vec::new() }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for scalars).
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// The dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Interprets the shape as a matrix `(rows, cols)`.
+    ///
+    /// Returns `None` if the rank is not 2.
+    pub fn as_matrix(&self) -> Option<(usize, usize)> {
+        match self.dims[..] {
+            [r, c] => Some((r, c)),
+            _ => None,
+        }
+    }
+
+    /// Interprets the shape as an image batch `(n, c, h, w)`.
+    ///
+    /// Returns `None` if the rank is not 4.
+    pub fn as_nchw(&self) -> Option<(usize, usize, usize, usize)> {
+        match self.dims[..] {
+            [n, c, h, w] => Some((n, c, h, w)),
+            _ => None,
+        }
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+    }
+
+    #[test]
+    fn num_elements_is_product() {
+        assert_eq!(Shape::from([2, 3, 4]).num_elements(), 24);
+        assert_eq!(Shape::from([7]).num_elements(), 7);
+    }
+
+    #[test]
+    fn matrix_view() {
+        assert_eq!(Shape::from([3, 5]).as_matrix(), Some((3, 5)));
+        assert_eq!(Shape::from([3, 5, 2]).as_matrix(), None);
+    }
+
+    #[test]
+    fn nchw_view() {
+        assert_eq!(Shape::from([2, 3, 8, 8]).as_nchw(), Some((2, 3, 8, 8)));
+        assert_eq!(Shape::from([2, 3]).as_nchw(), None);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::from([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([5]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+}

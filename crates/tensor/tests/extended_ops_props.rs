@@ -1,0 +1,153 @@
+//! Finite-difference validation of the extended op set (elementwise,
+//! reductions, windowed pooling, dropout).
+
+use proptest::prelude::*;
+use sdc_tensor::gradcheck::check_gradients;
+use sdc_tensor::{Graph, Tensor};
+
+const TOL: f32 = 2e-2;
+const EPS: f32 = 1e-2;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1.5f32..1.5, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn exp_tanh_sigmoid_grads(x in small_vec(6)) {
+        let tx = Tensor::from_vec([6], x).unwrap();
+        let reports = check_gradients(&[tx], EPS, |g, ids| {
+            let e = g.exp(ids[0]);
+            let t = g.tanh(e);
+            let s = g.sigmoid(t);
+            Ok(g.mean_all(s))
+        }).unwrap();
+        for r in reports {
+            prop_assert!(r.within(TOL), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn ln_sqrt_grads(x in proptest::collection::vec(0.5f32..3.0, 6)) {
+        let tx = Tensor::from_vec([6], x).unwrap();
+        let reports = check_gradients(&[tx], 1e-3, |g, ids| {
+            let l = g.ln(ids[0], 1e-9);
+            let sq = g.sqrt(ids[0]);
+            let s = g.add(l, sq)?;
+            Ok(g.mean_all(s))
+        }).unwrap();
+        for r in reports {
+            prop_assert!(r.within(TOL), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn clamp_grads_away_from_boundaries(x in small_vec(8)) {
+        // Keep inputs away from the clamp kinks at ±1.
+        for v in &x {
+            prop_assume!((v.abs() - 1.0).abs() > 0.05);
+        }
+        let tx = Tensor::from_vec([8], x).unwrap();
+        let reports = check_gradients(&[tx], EPS, |g, ids| {
+            let c = g.clamp(ids[0], -1.0, 1.0)?;
+            Ok(g.sum_all(c))
+        }).unwrap();
+        for r in reports {
+            prop_assert!(r.within(TOL), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn div_grads(a in small_vec(6), b in proptest::collection::vec(0.5f32..2.0, 6)) {
+        let ta = Tensor::from_vec([6], a).unwrap();
+        let tb = Tensor::from_vec([6], b).unwrap();
+        let reports = check_gradients(&[ta, tb], 1e-3, |g, ids| {
+            let q = g.div(ids[0], ids[1])?;
+            Ok(g.mean_all(q))
+        }).unwrap();
+        for r in reports {
+            prop_assert!(r.within(TOL), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn avg_pool_grads(x in small_vec(1 * 2 * 4 * 4)) {
+        let tx = Tensor::from_vec([1, 2, 4, 4], x).unwrap();
+        let reports = check_gradients(&[tx], EPS, |g, ids| {
+            let p = g.avg_pool2d(ids[0], 2, 2)?;
+            Ok(g.mean_all(p))
+        }).unwrap();
+        for r in reports {
+            prop_assert!(r.within(TOL), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn row_reduction_grads(x in small_vec(3 * 4)) {
+        let tx = Tensor::from_vec([3, 4], x).unwrap();
+        let reports = check_gradients(&[tx], EPS, |g, ids| {
+            let sr = g.sum_rows(ids[0])?;
+            let mr = g.mean_rows(ids[0])?;
+            let s = g.add(sr, mr)?;
+            Ok(g.mean_all(s))
+        }).unwrap();
+        for r in reports {
+            prop_assert!(r.within(TOL), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn sum_cols_grads(x in small_vec(3 * 4)) {
+        let tx = Tensor::from_vec([3, 4], x).unwrap();
+        let reports = check_gradients(&[tx], EPS, |g, ids| {
+            let sc = g.sum_cols(ids[0])?;
+            Ok(g.mean_all(sc))
+        }).unwrap();
+        for r in reports {
+            prop_assert!(r.within(TOL), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn dropout_grads_with_fixed_mask(x in small_vec(8), mask in proptest::collection::vec(any::<bool>(), 8)) {
+        prop_assume!(mask.iter().any(|&m| m));
+        let tx = Tensor::from_vec([8], x).unwrap();
+        let mask2 = mask.clone();
+        let reports = check_gradients(&[tx], EPS, move |g, ids| {
+            let d = g.dropout(ids[0], mask2.clone(), 0.5)?;
+            Ok(g.sum_all(d))
+        }).unwrap();
+        for r in reports {
+            prop_assert!(r.within(TOL), "{r:?}");
+        }
+        let _ = mask;
+    }
+}
+
+#[test]
+fn dropout_is_identity_with_full_mask() {
+    let mut g = Graph::new();
+    let x = g.leaf(Tensor::from_vec([4], vec![1.0, -2.0, 3.0, -4.0]).unwrap());
+    let d = g.dropout(x, vec![true; 4], 1.0).unwrap();
+    assert_eq!(g.value(d).data(), &[1.0, -2.0, 3.0, -4.0]);
+}
+
+#[test]
+fn dropout_validates_arguments() {
+    let mut g = Graph::new();
+    let x = g.leaf(Tensor::zeros([4]));
+    assert!(g.dropout(x, vec![true; 3], 0.5).is_err());
+    assert!(g.dropout(x, vec![true; 4], 0.0).is_err());
+    assert!(g.dropout(x, vec![true; 4], 1.5).is_err());
+}
+
+#[test]
+fn dropout_preserves_expectation_scale() {
+    // Half the elements kept at keep_prob 0.5 → kept values doubled.
+    let mut g = Graph::new();
+    let x = g.leaf(Tensor::from_vec([4], vec![1.0, 1.0, 1.0, 1.0]).unwrap());
+    let d = g.dropout(x, vec![true, false, true, false], 0.5).unwrap();
+    assert_eq!(g.value(d).data(), &[2.0, 0.0, 2.0, 0.0]);
+}

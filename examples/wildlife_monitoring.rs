@@ -1,0 +1,70 @@
+//! The paper's motivating scenario: a wildlife-monitoring camera sees
+//! long runs of the same species (goats for a while, then zebras, ...).
+//! A FIFO buffer collapses to the current species; contrast scoring keeps
+//! a diverse buffer, which is what makes on-device contrastive learning
+//! work on such streams.
+//!
+//! This example tracks *buffer class coverage* over time for both
+//! policies — the mechanism behind the accuracy gap, made visible.
+//!
+//! Run: `cargo run -p sdc --release --example wildlife_monitoring`
+
+use sdc::core::model::ModelConfig;
+use sdc::core::{ContrastScoringPolicy, FifoReplacePolicy, ReplacementPolicy, StreamTrainer, TrainerConfig};
+use sdc::data::stream::TemporalStream;
+use sdc::data::synth::{SynthConfig, SynthDataset};
+use sdc::nn::models::EncoderConfig;
+
+fn run(policy: Box<dyn ReplacementPolicy>, label: &str) -> Result<(), Box<dyn std::error::Error>> {
+    // 8 "species", camera dwells on each for 48 consecutive frames.
+    // Moderate jitter keeps the contrast score tracking *learnedness*
+    // rather than sensor noise, which is what lets scored replacement
+    // hold on to species the encoder still finds hard.
+    let classes = 8;
+    let dataset = SynthDataset::new(SynthConfig {
+        classes,
+        shift: 0.25,
+        brightness: 0.2,
+        noise: 0.12,
+        ..SynthConfig::default()
+    });
+    let mut stream = TemporalStream::new(dataset, 48, 11);
+    let config = TrainerConfig {
+        buffer_size: 16,
+        model: ModelConfig {
+            encoder: EncoderConfig::small(),
+            projection_hidden: 32,
+            projection_dim: 16,
+            seed: 11,
+        },
+        ..TrainerConfig::default()
+    };
+    let mut trainer = StreamTrainer::new(config, policy);
+    println!("\n--- {label} ---");
+    println!("iter  species-in-buffer  buffer histogram");
+    for iter in 1..=48u64 {
+        let segment = stream.next_segment(16)?;
+        trainer.step(segment)?;
+        if iter % 8 == 0 {
+            let hist = trainer.buffer().class_histogram(classes);
+            let coverage = trainer.buffer().class_coverage(classes);
+            println!("{iter:>4}  {coverage:>17}  {hist:?}");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("wildlife monitoring: 8 species, camera dwell time 48 frames, buffer 16");
+    run(Box::new(FifoReplacePolicy::new()), "FIFO Replace (buffer = whatever is in front of the camera)")?;
+    run(
+        Box::new(ContrastScoringPolicy::new()),
+        "Contrast Scoring (buffer = what the encoder has not yet learned)",
+    )?;
+    println!(
+        "\nFIFO's buffer holds only the species currently in view; contrast scoring\n\
+         accumulates representatives of previously seen species — the diversity that\n\
+         contrastive learning needs for useful negatives (paper §I, §III)."
+    );
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! Cross-crate policy behaviour on realistic temporally correlated
+//! streams — the mechanisms behind the paper's figures.
+
+use sdc::core::model::ModelConfig;
+use sdc::core::{
+    ContrastScoringPolicy, ContrastiveModel, FifoReplacePolicy, KCenterPolicy,
+    RandomReplacePolicy, ReplacementPolicy, ReplayBuffer, SelectiveBackpropPolicy,
+};
+use sdc::data::stream::TemporalStream;
+use sdc::data::synth::{SynthConfig, SynthDataset};
+use sdc::nn::models::EncoderConfig;
+
+fn model() -> ContrastiveModel {
+    ContrastiveModel::new(&ModelConfig {
+        encoder: EncoderConfig::tiny(),
+        projection_hidden: 16,
+        projection_dim: 8,
+        seed: 77,
+    })
+}
+
+fn stream(stc: usize, seed: u64) -> TemporalStream {
+    let ds = SynthDataset::new(SynthConfig {
+        classes: 6,
+        height: 10,
+        width: 10,
+        ..SynthConfig::default()
+    });
+    TemporalStream::new(ds, stc, seed)
+}
+
+fn drive(policy: &mut dyn ReplacementPolicy, stc: usize, iterations: usize) -> ReplayBuffer {
+    let mut m = model();
+    let mut buffer = ReplayBuffer::new(12);
+    let mut s = stream(stc, 3);
+    for _ in 0..iterations {
+        let seg = s.next_segment(12).unwrap();
+        policy.replace(&mut m, &mut buffer, seg).unwrap();
+    }
+    buffer
+}
+
+#[test]
+fn all_policies_maintain_capacity_on_streams() {
+    let mut policies: Vec<Box<dyn ReplacementPolicy>> = vec![
+        Box::new(ContrastScoringPolicy::new()),
+        Box::new(RandomReplacePolicy::new(1)),
+        Box::new(FifoReplacePolicy::new()),
+        Box::new(SelectiveBackpropPolicy::new(0.5)),
+        Box::new(KCenterPolicy::new()),
+    ];
+    for policy in policies.iter_mut() {
+        let buffer = drive(policy.as_mut(), 24, 8);
+        assert_eq!(buffer.len(), 12, "{}", policy.name());
+        // Labels exist on all entries (they are carried, never used).
+        assert!(buffer.entries().iter().all(|e| e.sample.label < 6));
+    }
+}
+
+#[test]
+fn fifo_collapses_to_current_class_under_high_stc() {
+    // With STC ≥ segment size, FIFO's buffer is always single-class —
+    // the failure mode the paper attributes its FIFO results to.
+    let mut policy = FifoReplacePolicy::new();
+    let buffer = drive(&mut policy, 48, 10);
+    assert_eq!(buffer.class_coverage(6), 1, "histogram {:?}", buffer.class_histogram(6));
+}
+
+#[test]
+fn contrast_scoring_preserves_more_diversity_than_fifo() {
+    let mut contrast = ContrastScoringPolicy::new();
+    let contrast_buffer = drive(&mut contrast, 48, 10);
+    let mut fifo = FifoReplacePolicy::new();
+    let fifo_buffer = drive(&mut fifo, 48, 10);
+    assert!(
+        contrast_buffer.class_coverage(6) > fifo_buffer.class_coverage(6),
+        "contrast {:?} vs fifo {:?}",
+        contrast_buffer.class_histogram(6),
+        fifo_buffer.class_histogram(6)
+    );
+}
+
+#[test]
+fn selection_policies_agree_on_buffer_scores_being_populated() {
+    for (policy, expects_scores) in [
+        (Box::new(ContrastScoringPolicy::new()) as Box<dyn ReplacementPolicy>, true),
+        (Box::new(SelectiveBackpropPolicy::new(0.5)), true),
+        (Box::new(FifoReplacePolicy::new()), false),
+    ] {
+        let mut p = policy;
+        let buffer = drive(p.as_mut(), 24, 4);
+        let any_nonzero = buffer.entries().iter().any(|e| e.score != 0.0);
+        assert_eq!(any_nonzero, expects_scores, "{}", p.name());
+    }
+}
+
+#[test]
+fn outcome_accounting_is_consistent_across_policies() {
+    let mut policies: Vec<Box<dyn ReplacementPolicy>> = vec![
+        Box::new(ContrastScoringPolicy::new()),
+        Box::new(RandomReplacePolicy::new(2)),
+        Box::new(FifoReplacePolicy::new()),
+        Box::new(SelectiveBackpropPolicy::new(0.5)),
+        Box::new(KCenterPolicy::new()),
+    ];
+    for policy in policies.iter_mut() {
+        let mut m = model();
+        let mut buffer = ReplayBuffer::new(8);
+        let mut s = stream(16, 4);
+        let first = policy.replace(&mut m, &mut buffer, s.next_segment(8).unwrap()).unwrap();
+        assert_eq!(first.buffer_len_before, 0, "{}", policy.name());
+        let second = policy.replace(&mut m, &mut buffer, s.next_segment(8).unwrap()).unwrap();
+        assert_eq!(second.candidates, 16, "{}", policy.name());
+        assert!(second.rescored_buffer <= second.buffer_len_before, "{}", policy.name());
+    }
+}
