@@ -39,9 +39,7 @@ fn bench_kernels(c: &mut Criterion) {
     let gamma = Tensor::ones([16]);
     let beta = Tensor::zeros([16]);
     c.bench_function("batchnorm_forward_16x16x12x12", |bch| {
-        bch.iter(|| {
-            batch_norm2d_forward(black_box(&x), &gamma, &beta, 1e-5, None).unwrap()
-        })
+        bch.iter(|| batch_norm2d_forward(black_box(&x), &gamma, &beta, 1e-5, None).unwrap())
     });
 
     let z = Tensor::randn([64, 32], 1.0, &mut rng);

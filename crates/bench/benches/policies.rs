@@ -8,9 +8,11 @@ use sdc_core::policy::{
 };
 use sdc_core::ReplayBuffer;
 
+type PolicyFactory = fn() -> Box<dyn ReplacementPolicy>;
+
 fn bench_policies(c: &mut Criterion) {
     let mut group = c.benchmark_group("policy_replace");
-    let make: Vec<(&str, fn() -> Box<dyn ReplacementPolicy>)> = vec![
+    let make: Vec<(&str, PolicyFactory)> = vec![
         ("contrast", || Box::new(ContrastScoringPolicy::new())),
         ("random", || Box::new(RandomReplacePolicy::new(0))),
         ("fifo", || Box::new(FifoReplacePolicy::new())),

@@ -1,0 +1,130 @@
+//! Benchmarks for the `sdc-runtime` parallel execution subsystem:
+//! contrast scoring and dense matmul at 1/2/4/8 threads, plus the
+//! zero-skip-branch experiment that motivated removing the
+//! `if aip == 0.0 { continue; }` test from the matmul hot loop.
+//!
+//! Besides the usual console output, results are written to
+//! `BENCH_runtime.json` at the workspace root so future PRs can track
+//! the perf trajectory mechanically.
+
+use criterion::{BenchmarkId, Criterion};
+use sdc_bench::{bench_model, bench_samples};
+use sdc_core::score::contrast_scores_shared;
+use sdc_runtime::Runtime;
+use sdc_tensor::ops::matmul::matmul;
+use sdc_tensor::Tensor;
+use std::hint::black_box;
+use std::io::Write;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_scoring_by_threads(c: &mut Criterion) {
+    let model = bench_model();
+    let samples = bench_samples(32, 1);
+    let mut group = c.benchmark_group("runtime_scoring");
+    for &threads in &THREAD_COUNTS {
+        let rt = Runtime::new(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &samples, |b, s| {
+            b.iter(|| rt.install(|| contrast_scores_shared(&model, black_box(s)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul_by_threads(c: &mut Criterion) {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+    let a = Tensor::randn([256, 256], 1.0, &mut rng);
+    let b = Tensor::randn([256, 256], 1.0, &mut rng);
+    let mut group = c.benchmark_group("runtime_matmul_256");
+    for &threads in &THREAD_COUNTS {
+        let rt = Runtime::new(threads);
+        group.bench_function(BenchmarkId::from_parameter(threads), |bch| {
+            bch.iter(|| rt.install(|| matmul(black_box(&a), black_box(&b)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// The removed zero-skip inner loop, kept here (only) to measure what
+/// the data-dependent branch costs on dense inputs.
+fn matmul_with_zero_skip(a: &Tensor, b: &Tensor, n: usize, k: usize, m: usize) -> Tensor {
+    let mut out = Tensor::zeros([n, m]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..n {
+        for p in 0..k {
+            let aip = ad[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * m..(p + 1) * m];
+            let orow = &mut od[i * m..(i + 1) * m];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aip * bv;
+            }
+        }
+    }
+    out
+}
+
+fn bench_zero_skip_branch(c: &mut Criterion) {
+    let n = 192;
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+    let dense_a = Tensor::randn([n, n], 1.0, &mut rng);
+    let b = Tensor::randn([n, n], 1.0, &mut rng);
+    // 50% zeros — the most branch-predictor-hostile density.
+    let sparse_a = dense_a.map(|v| if v > 0.0 { v } else { 0.0 });
+    let rt = Runtime::new(1);
+    let mut group = c.benchmark_group("matmul_zero_skip");
+    group.bench_function("dense/branchless", |bch| {
+        bch.iter(|| rt.install(|| matmul(black_box(&dense_a), black_box(&b)).unwrap()))
+    });
+    group.bench_function("dense/zero_skip", |bch| {
+        bch.iter(|| matmul_with_zero_skip(black_box(&dense_a), black_box(&b), n, n, n))
+    });
+    group.bench_function("half_sparse/branchless", |bch| {
+        bch.iter(|| rt.install(|| matmul(black_box(&sparse_a), black_box(&b)).unwrap()))
+    });
+    group.bench_function("half_sparse/zero_skip", |bch| {
+        bch.iter(|| matmul_with_zero_skip(black_box(&sparse_a), black_box(&b), n, n, n))
+    });
+    group.finish();
+}
+
+/// Writes `BENCH_runtime.json` at the workspace root: a list of
+/// `{"id", "ns_per_iter"}` entries plus environment metadata.
+fn write_json(c: &Criterion) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    let results = c.results();
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}}}{comma}\n",
+            r.id, r.ns_per_iter
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"host_parallelism\": {}\n}}\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ));
+    match std::fs::File::create(path) {
+        Ok(mut f) => {
+            let _ = f.write_all(out.as_bytes());
+            println!("wrote {path}");
+        }
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    bench_scoring_by_threads(&mut criterion);
+    bench_matmul_by_threads(&mut criterion);
+    bench_zero_skip_branch(&mut criterion);
+    write_json(&criterion);
+}

@@ -53,7 +53,5 @@ pub fn bench_stream(stc: usize, seed: u64) -> TemporalStream {
 /// Random image samples of the default benchmark geometry.
 pub fn bench_samples(n: usize, seed: u64) -> Vec<Sample> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|i| Sample::new(Tensor::randn([3, 12, 12], 1.0, &mut rng), 0, i as u64))
-        .collect()
+    (0..n).map(|i| Sample::new(Tensor::randn([3, 12, 12], 1.0, &mut rng), 0, i as u64)).collect()
 }

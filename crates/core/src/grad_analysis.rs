@@ -161,10 +161,7 @@ mod tests {
     fn misaligned_pairs_have_larger_gradients_case_2() {
         let (z1, z2) = controlled_pairs(&[0.01, 0.01, 2.5, 0.01]);
         let g = per_sample_grad_norms(&z1, &z2, 0.1).unwrap();
-        assert!(
-            g[2] > 3.0 * g[0],
-            "misaligned pair should dominate: {g:?}"
-        );
+        assert!(g[2] > 3.0 * g[0], "misaligned pair should dominate: {g:?}");
     }
 
     #[test]

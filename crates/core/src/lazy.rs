@@ -37,7 +37,7 @@ impl LazySchedule {
     pub fn needs_rescore(&self, age: u32) -> bool {
         match self.interval {
             None => true,
-            Some(t) => age % t == 0,
+            Some(t) => age.is_multiple_of(t),
         }
     }
 

@@ -64,5 +64,5 @@ pub use policy::{
     ContrastScoringPolicy, FifoReplacePolicy, KCenterPolicy, RandomReplacePolicy,
     ReplacementOutcome, ReplacementPolicy, SelectiveBackpropPolicy,
 };
-pub use score::{contrast_scores, top_k_indices};
+pub use score::{contrast_scores, contrast_scores_shared, top_k_indices};
 pub use trainer::{StepReport, StreamTrainer, TrainerConfig};

@@ -21,15 +21,11 @@ pub fn nt_xent_loss(g: &mut Graph, z1: VarId, z2: VarId, temperature: f32) -> Re
             message: format!("temperature must be positive, got {temperature}"),
         });
     }
-    let (n, _) = g
-        .value(z1)
-        .shape()
-        .as_matrix()
-        .ok_or_else(|| TensorError::RankMismatch {
-            op: "nt_xent_loss",
-            expected: 2,
-            actual: g.value(z1).shape().clone(),
-        })?;
+    let (n, _) = g.value(z1).shape().as_matrix().ok_or_else(|| TensorError::RankMismatch {
+        op: "nt_xent_loss",
+        expected: 2,
+        actual: g.value(z1).shape().clone(),
+    })?;
     let z = g.concat0(z1, z2)?;
     let sim = g.matmul_nt(z, z)?;
     let scaled = g.scale(sim, 1.0 / temperature);

@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sdc_nn::models::{EncoderConfig, ProjectionHead, ResNetEncoder};
 use sdc_nn::{Bindings, Forward, Module, ParamStore};
-use sdc_tensor::{Graph, Result, Tensor};
+use sdc_tensor::{Graph, Result, Tensor, TensorError};
 
 /// Configuration of a [`ContrastiveModel`].
 #[derive(Debug, Clone)]
@@ -78,11 +78,7 @@ impl ContrastiveModel {
     /// training graph: the (immutable) sub-modules plus the mutable
     /// parameter store a [`Forward`] context needs.
     pub fn parts_mut(&mut self) -> ModelParts<'_> {
-        ModelParts {
-            encoder: &self.encoder,
-            projector: &self.projector,
-            store: &mut self.store,
-        }
+        ModelParts { encoder: &self.encoder, projector: &self.projector, store: &mut self.store }
     }
 
     /// Inference-only projection: maps an image batch `(n, c, h, w)` to
@@ -96,14 +92,23 @@ impl ContrastiveModel {
     ///
     /// Propagates shape errors from the underlying modules.
     pub fn project(&mut self, images: &Tensor) -> Result<Tensor> {
-        let mut graph = Graph::new();
-        let mut bindings = Bindings::new();
-        let mut ctx = Forward::new(&mut graph, &mut self.store, &mut bindings, false);
-        let x = ctx.graph.leaf(images.clone());
-        let h = self.encoder.forward(&mut ctx, x)?;
-        let z = self.projector.forward(&mut ctx, h)?;
-        let zn = ctx.graph.l2_normalize_rows(z)?;
-        Ok(graph.value(zn).clone())
+        self.project_shared(images)
+    }
+
+    /// [`ContrastiveModel::project`] through a shared borrow.
+    ///
+    /// Eval-mode forwards only read the parameter store, so scoring can
+    /// fan a candidate batch out across worker threads, each running
+    /// this over its own slice of the batch. Every eval-mode op is
+    /// row-independent, making the result bit-identical to the
+    /// single-batch forward — large batches are in fact computed that
+    /// way here, in fixed per-sample chunks on the `sdc-runtime` pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying modules.
+    pub fn project_shared(&self, images: &Tensor) -> Result<Tensor> {
+        self.eval_forward(images, true)
     }
 
     /// Inference-only feature extraction: `(n, c, h, w)` images to
@@ -114,14 +119,85 @@ impl ContrastiveModel {
     ///
     /// Propagates shape errors from the underlying modules.
     pub fn features(&mut self, images: &Tensor) -> Result<Tensor> {
+        self.features_shared(images)
+    }
+
+    /// [`ContrastiveModel::features`] through a shared borrow; batch
+    /// rows fan out over the worker pool like
+    /// [`ContrastiveModel::project_shared`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying modules.
+    pub fn features_shared(&self, images: &Tensor) -> Result<Tensor> {
+        self.eval_forward(images, false)
+    }
+
+    /// Shared eval-mode forward over the full batch, split into fixed
+    /// [`BATCH_CHUNK`]-sample chunks on the worker pool when large
+    /// enough. `project` selects projection head + ℓ2 normalization;
+    /// otherwise encoder features are returned.
+    fn eval_forward(&self, images: &Tensor, project: bool) -> Result<Tensor> {
+        let dims = images.shape().dims();
+        let n = if dims.is_empty() { 0 } else { dims[0] };
+        let out_dim = if project { self.projection_dim() } else { self.feature_dim() };
+        if n >= 2 * BATCH_CHUNK && sdc_runtime::current_threads() > 1 {
+            let sample_len = images.len() / n;
+            let mut out = Tensor::zeros([n, out_dim]);
+            let src = images.data();
+            let sample_dims = &dims[1..];
+            let first_error: std::sync::Mutex<Option<TensorError>> = std::sync::Mutex::new(None);
+            sdc_runtime::par_chunks_mut(out.data_mut(), BATCH_CHUNK * out_dim, |ci, piece| {
+                let start = ci * BATCH_CHUNK;
+                let rows = piece.len() / out_dim;
+                let mut chunk_dims = vec![rows];
+                chunk_dims.extend_from_slice(sample_dims);
+                let chunk = Tensor::from_vec(
+                    chunk_dims,
+                    src[start * sample_len..(start + rows) * sample_len].to_vec(),
+                )
+                .expect("chunk length matches dims");
+                match self.eval_forward_single(chunk, project) {
+                    Ok(z) => piece.copy_from_slice(z.data()),
+                    Err(e) => {
+                        first_error.lock().unwrap_or_else(|p| p.into_inner()).get_or_insert(e);
+                    }
+                }
+            });
+            if let Some(e) = first_error.into_inner().unwrap_or_else(|p| p.into_inner()) {
+                return Err(e);
+            }
+            Ok(out)
+        } else {
+            self.eval_forward_single(images.clone(), project)
+        }
+    }
+
+    /// One eval-mode forward over `images` (owned: the batch moves
+    /// straight into the graph leaf, so chunked callers pay no extra
+    /// copy), no batch splitting.
+    fn eval_forward_single(&self, images: Tensor, project: bool) -> Result<Tensor> {
         let mut graph = Graph::new();
         let mut bindings = Bindings::new();
-        let mut ctx = Forward::new(&mut graph, &mut self.store, &mut bindings, false);
-        let x = ctx.graph.leaf(images.clone());
+        let mut ctx = Forward::new_shared(&mut graph, &self.store, &mut bindings);
+        let x = ctx.graph.leaf(images);
         let h = self.encoder.forward(&mut ctx, x)?;
-        Ok(graph.value(h).clone())
+        let out = if project {
+            let z = self.projector.forward(&mut ctx, h)?;
+            ctx.graph.l2_normalize_rows(z)?
+        } else {
+            h
+        };
+        Ok(graph.value(out).clone())
     }
 }
+
+/// Samples per parallel eval-forward chunk. Fixed (never derived from
+/// the thread count) so chunk boundaries — and results — are identical
+/// at any parallelism. Each chunk pays a fixed cost (fresh graph +
+/// binding every weight tensor as a leaf), so the chunk is sized to
+/// amortize that against per-sample forward work.
+const BATCH_CHUNK: usize = 8;
 
 #[cfg(test)]
 mod tests {

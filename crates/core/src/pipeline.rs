@@ -62,7 +62,12 @@ pub struct Reservoir {
 impl Reservoir {
     /// Creates a reservoir holding at most `capacity` samples.
     pub fn new(capacity: usize, seed: u64) -> Self {
-        Self { capacity, seen: 0, items: Vec::with_capacity(capacity), rng: StdRng::seed_from_u64(seed) }
+        Self {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity),
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Offers one sample; it is kept with probability `capacity / seen`.
@@ -100,8 +105,7 @@ pub fn run_pipeline(
     stream: &mut TemporalStream,
 ) -> Result<PipelineOutcome> {
     let total_samples = config.iterations * config.trainer.buffer_size;
-    let label_budget =
-        ((total_samples as f64 * config.label_fraction).ceil() as usize).max(1);
+    let label_budget = ((total_samples as f64 * config.label_fraction).ceil() as usize).max(1);
     let mut reservoir = Reservoir::new(label_budget, config.seed);
 
     let mut trainer = StreamTrainer::new(config.trainer.clone(), policy);
@@ -123,7 +127,12 @@ pub fn run_pipeline(
         tail_losses.iter().sum::<f32>() / tail_losses.len() as f32
     };
     let seen = trainer.seen();
-    Ok(PipelineOutcome { model: trainer.into_model(), labeled: reservoir.items().to_vec(), seen, final_loss })
+    Ok(PipelineOutcome {
+        model: trainer.into_model(),
+        labeled: reservoir.items().to_vec(),
+        seen,
+        final_loss,
+    })
 }
 
 #[cfg(test)]
@@ -167,7 +176,8 @@ mod tests {
     #[test]
     fn pipeline_trains_and_collects_label_budget() {
         let mut s = stream(1);
-        let outcome = run_pipeline(&config(), Box::new(ContrastScoringPolicy::new()), &mut s).unwrap();
+        let outcome =
+            run_pipeline(&config(), Box::new(ContrastScoringPolicy::new()), &mut s).unwrap();
         assert_eq!(outcome.seen, 60);
         // 10% of 60 = 6 labeled samples.
         assert_eq!(outcome.labeled.len(), 6);

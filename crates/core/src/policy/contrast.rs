@@ -92,11 +92,8 @@ impl ReplacementPolicy for ContrastScoringPolicy {
         let mut to_score: Vec<Sample> =
             rescore_idx.iter().map(|&i| buffer.entries()[i].sample.clone()).collect();
         to_score.extend(incoming.iter().cloned());
-        let scores = if to_score.is_empty() {
-            Vec::new()
-        } else {
-            contrast_scores(model, &to_score)?
-        };
+        let scores =
+            if to_score.is_empty() { Vec::new() } else { contrast_scores(model, &to_score)? };
         let (buffer_scores, incoming_scores) = scores.split_at(rescore_idx.len());
         for (&i, &s) in rescore_idx.iter().zip(buffer_scores) {
             let entry = &mut buffer.entries_mut()[i];
@@ -111,10 +108,7 @@ impl ReplacementPolicy for ContrastScoringPolicy {
         let mut candidates: Vec<BufferEntry> = old_entries;
         let boundary = candidates.len();
         candidates.extend(
-            incoming
-                .into_iter()
-                .zip(incoming_scores)
-                .map(|(s, &score)| BufferEntry::new(s, score)),
+            incoming.into_iter().zip(incoming_scores).map(|(s, &score)| BufferEntry::new(s, score)),
         );
 
         // Top-N selection (Eq. (4)).

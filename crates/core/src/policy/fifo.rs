@@ -38,7 +38,7 @@ impl ReplacementPolicy for FifoReplacePolicy {
         candidates.extend(incoming.into_iter().map(|s| BufferEntry::new(s, 0.0)));
         let total = candidates.len();
         // Newest-first by stream id; ids are monotone stream positions.
-        candidates.sort_by(|a, b| b.sample.id.cmp(&a.sample.id));
+        candidates.sort_by_key(|e| std::cmp::Reverse(e.sample.id));
         let keep = buffer.capacity().min(total);
         let selected: Vec<BufferEntry> = candidates.into_iter().take(keep).collect();
         let retained_from_buffer = selected.iter().filter(|e| e.age > 0).count();

@@ -42,9 +42,8 @@ pub(crate) fn greedy_k_center(points: &Tensor, k: usize) -> Vec<usize> {
         }
     }
     centroid.iter_mut().for_each(|v| *v /= n as f32);
-    let dist2 = |a: &[f32], b: &[f32]| -> f32 {
-        a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
-    };
+    let dist2 =
+        |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum() };
     let first = (0..n)
         .max_by(|&a, &b| {
             dist2(&pd[a * d..(a + 1) * d], &centroid)
@@ -54,9 +53,8 @@ pub(crate) fn greedy_k_center(points: &Tensor, k: usize) -> Vec<usize> {
         .expect("n > 0");
     let mut selected = vec![first];
     // min_dist[i] = distance from point i to its nearest selected centre.
-    let mut min_dist: Vec<f32> = (0..n)
-        .map(|i| dist2(&pd[i * d..(i + 1) * d], &pd[first * d..(first + 1) * d]))
-        .collect();
+    let mut min_dist: Vec<f32> =
+        (0..n).map(|i| dist2(&pd[i * d..(i + 1) * d], &pd[first * d..(first + 1) * d])).collect();
     while selected.len() < k {
         let next = (0..n)
             .max_by(|&a, &b| {

@@ -49,8 +49,7 @@ impl ReplacementPolicy for SelectiveBackpropPolicy {
         let total = candidates.len();
 
         // Per-sample contrastive loss over the candidate pool.
-        let originals: Vec<Tensor> =
-            candidates.iter().map(|e| e.sample.image.clone()).collect();
+        let originals: Vec<Tensor> = candidates.iter().map(|e| e.sample.image.clone()).collect();
         let flips: Vec<Tensor> = candidates.iter().map(|e| hflip(&e.sample.image)).collect();
         let z1 = model.project(&stack_image_tensors(&originals)?)?;
         let z2 = model.project(&stack_image_tensors(&flips)?)?;
@@ -95,8 +94,7 @@ mod tests {
         policy.replace(&mut model, &mut buffer, batch).unwrap();
         // Buffer scores are the losses; they must be the 3 largest among
         // all six (checked by re-running the policy's own scoring).
-        let kept_min =
-            buffer.entries().iter().map(|e| e.score).fold(f32::INFINITY, f32::min);
+        let kept_min = buffer.entries().iter().map(|e| e.score).fold(f32::INFINITY, f32::min);
         assert!(buffer.entries().len() == 3);
         assert!(kept_min.is_finite() && kept_min > 0.0);
     }

@@ -25,6 +25,21 @@ use crate::model::ContrastiveModel;
 ///
 /// Returns an error if `samples` is empty or image shapes disagree.
 pub fn contrast_scores(model: &mut ContrastiveModel, samples: &[Sample]) -> Result<Vec<f32>> {
+    contrast_scores_shared(model, samples)
+}
+
+/// [`contrast_scores`] through a shared model borrow.
+///
+/// The `originals ++ flips` batch is split into fixed per-sample chunks
+/// executed concurrently on the `sdc-runtime` worker pool (see
+/// [`ContrastiveModel::project_shared`]); every eval-mode op is
+/// row-independent, so the scores are bit-identical to a single serial
+/// forward at any `SDC_THREADS` setting.
+///
+/// # Errors
+///
+/// Returns an error if `samples` is empty or image shapes disagree.
+pub fn contrast_scores_shared(model: &ContrastiveModel, samples: &[Sample]) -> Result<Vec<f32>> {
     if samples.is_empty() {
         return Err(TensorError::InvalidArgument {
             op: "contrast_scores",
@@ -38,7 +53,7 @@ pub fn contrast_scores(model: &mut ContrastiveModel, samples: &[Sample]) -> Resu
     let mut all = originals;
     all.extend(flipped);
     let batch = stack_image_tensors(&all)?;
-    let z = model.project(&batch)?;
+    let z = model.project_shared(&batch)?;
     Ok(scores_from_projections(&z, samples.len()))
 }
 
@@ -97,9 +112,7 @@ mod tests {
 
     fn samples(n: usize, seed: u64) -> Vec<Sample> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|i| Sample::new(Tensor::randn([3, 8, 8], 1.0, &mut rng), 0, i as u64))
-            .collect()
+        (0..n).map(|i| Sample::new(Tensor::randn([3, 8, 8], 1.0, &mut rng), 0, i as u64)).collect()
     }
 
     #[test]

@@ -10,16 +10,15 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sdc_data::augment::{strong_augmentation, Augment, Compose};
-use sdc_data::stream::TemporalStream;
-use sdc_data::{stack_image_tensors, Sample};
+use sdc_data::{stack_image_tensors, Sample, SegmentSource};
 use sdc_nn::optim::{Adam, Optimizer};
 use sdc_nn::{Bindings, Forward};
 use sdc_tensor::{Graph, Result, Tensor};
 
+use crate::buffer::ReplayBuffer;
 use crate::loss::nt_xent_loss;
 use crate::model::{ContrastiveModel, ModelConfig, ModelParts};
 use crate::policy::{ReplacementOutcome, ReplacementPolicy};
-use crate::buffer::ReplayBuffer;
 use crate::stats::SelectionStats;
 
 /// Hyper-parameters of the stream trainer.
@@ -104,13 +103,8 @@ impl StreamTrainer {
         policy: Box<dyn ReplacementPolicy>,
         model: ContrastiveModel,
     ) -> Self {
-        let optimizer = Adam::with_options(
-            config.learning_rate,
-            0.9,
-            0.999,
-            1e-8,
-            config.weight_decay,
-        );
+        let optimizer =
+            Adam::with_options(config.learning_rate, 0.9, 0.999, 1e-8, config.weight_decay);
         Self {
             model,
             policy,
@@ -215,24 +209,20 @@ impl StreamTrainer {
 
         self.iteration += 1;
         self.stats.record(&outcome, replace_nanos, update_nanos);
-        Ok(StepReport {
-            loss: graph.value(loss_id).item(),
-            outcome,
-            replace_nanos,
-            update_nanos,
-        })
+        Ok(StepReport { loss: graph.value(loss_id).item(), outcome, replace_nanos, update_nanos })
     }
 
     /// Convenience driver: consumes `iterations` segments of
-    /// `buffer_size` samples from a stream, invoking `on_step` after each
-    /// update.
+    /// `buffer_size` samples from any [`SegmentSource`] — a plain
+    /// stream, or a [`sdc_data::PrefetchStream`] overlapping synthesis
+    /// with training — invoking `on_step` after each update.
     ///
     /// # Errors
     ///
     /// Propagates stream and training errors.
     pub fn run(
         &mut self,
-        stream: &mut TemporalStream,
+        stream: &mut impl SegmentSource,
         iterations: usize,
         mut on_step: impl FnMut(u64, &StepReport),
     ) -> Result<()> {
@@ -249,6 +239,7 @@ impl StreamTrainer {
 mod tests {
     use super::*;
     use crate::policy::{ContrastScoringPolicy, FifoReplacePolicy, RandomReplacePolicy};
+    use sdc_data::stream::TemporalStream;
     use sdc_data::synth::{SynthConfig, SynthDataset};
     use sdc_nn::models::EncoderConfig;
 
@@ -286,8 +277,7 @@ mod tests {
 
     #[test]
     fn training_reduces_contrastive_loss() {
-        let mut trainer =
-            StreamTrainer::new(tiny_config(), Box::new(ContrastScoringPolicy::new()));
+        let mut trainer = StreamTrainer::new(tiny_config(), Box::new(ContrastScoringPolicy::new()));
         let mut stream = tiny_stream(1);
         let mut losses = Vec::new();
         trainer.run(&mut stream, 30, |_, r| losses.push(r.loss)).unwrap();

@@ -1,0 +1,95 @@
+//! Serial/parallel equivalence for contrast scoring: the batch split
+//! across workers (and every runtime-wired kernel underneath) must give
+//! bit-identical scores at thread counts 1, 2, and 7 across random
+//! candidate-set sizes and image shapes.
+
+use proptest::prelude::*;
+use sdc_core::model::{ContrastiveModel, ModelConfig};
+use sdc_core::score::{contrast_scores, contrast_scores_shared};
+use sdc_data::Sample;
+use sdc_nn::models::EncoderConfig;
+use sdc_runtime::Runtime;
+use sdc_tensor::Tensor;
+
+fn model(seed: u64) -> ContrastiveModel {
+    ContrastiveModel::new(&ModelConfig {
+        encoder: EncoderConfig::tiny(),
+        projection_hidden: 12,
+        projection_dim: 6,
+        seed,
+    })
+}
+
+fn samples(n: usize, hw: usize, seed: u64) -> Vec<Sample> {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    (0..n).map(|i| Sample::new(Tensor::randn([3, hw, hw], 1.0, &mut rng), 0, i as u64)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn contrast_scores_are_thread_count_invariant(
+        n in 1usize..24,
+        hw in 6usize..12,
+        seed in 0u64..1000,
+    ) {
+        let m = model(seed);
+        let pool = samples(n, hw, seed + 1);
+        let reference = Runtime::new(1).install(|| contrast_scores_shared(&m, &pool).unwrap());
+        for threads in [1usize, 2, 7] {
+            let got = Runtime::new(threads).install(|| contrast_scores_shared(&m, &pool).unwrap());
+            prop_assert_eq!(
+                got.len(), reference.len(),
+                "length mismatch at {} threads", threads
+            );
+            for (i, (a, b)) in got.iter().zip(&reference).enumerate() {
+                prop_assert!(
+                    a.to_bits() == b.to_bits(),
+                    "threads={}: score {} differs: {} vs {}", threads, i, a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn features_and_projections_are_thread_count_invariant(
+        n in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let m = model(seed);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed + 2);
+        let batch = Tensor::randn([n, 3, 8, 8], 1.0, &mut rng);
+        let z_ref = Runtime::new(1).install(|| m.project_shared(&batch).unwrap());
+        let h_ref = Runtime::new(1).install(|| m.features_shared(&batch).unwrap());
+        for threads in [2usize, 7] {
+            let rt = Runtime::new(threads);
+            let z = rt.install(|| m.project_shared(&batch).unwrap());
+            let h = rt.install(|| m.features_shared(&batch).unwrap());
+            prop_assert_eq!(&z, &z_ref, "projections differ at {} threads", threads);
+            prop_assert_eq!(&h, &h_ref, "features differ at {} threads", threads);
+        }
+    }
+}
+
+#[test]
+fn mutable_and_shared_scoring_entry_points_agree() {
+    let mut m = model(5);
+    let pool = samples(10, 8, 9);
+    let via_mut = contrast_scores(&mut m, &pool).unwrap();
+    let via_shared = contrast_scores_shared(&m, &pool).unwrap();
+    assert_eq!(via_mut, via_shared);
+}
+
+#[test]
+fn scoring_with_workers_matches_batched_serial_exactly() {
+    // The documented contract: splitting the originals++flips batch
+    // across workers gives the same bits as one serial batch.
+    let m = model(3);
+    let pool = samples(16, 10, 4);
+    let serial = Runtime::new(1).install(|| contrast_scores_shared(&m, &pool).unwrap());
+    for threads in [2usize, 3, 4, 7, 8] {
+        let par = Runtime::new(threads).install(|| contrast_scores_shared(&m, &pool).unwrap());
+        assert_eq!(serial, par, "threads={threads}");
+    }
+}

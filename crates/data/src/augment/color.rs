@@ -68,8 +68,7 @@ impl Augment for RandomGrayscale {
         let mut out = image.clone();
         let plane = h * w;
         for i in 0..plane {
-            let mean: f32 =
-                (0..c).map(|ci| image.data()[ci * plane + i]).sum::<f32>() / c as f32;
+            let mean: f32 = (0..c).map(|ci| image.data()[ci * plane + i]).sum::<f32>() / c as f32;
             for ci in 0..c {
                 out.data_mut()[ci * plane + i] = mean;
             }

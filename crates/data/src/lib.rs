@@ -23,10 +23,12 @@
 
 pub mod augment;
 pub mod image_io;
+pub mod prefetch;
 mod sample;
 pub mod stream;
 pub mod stream_ext;
 pub mod synth;
 
+pub use prefetch::{PrefetchStream, SegmentSource};
 pub use sample::{stack_image_tensors, stack_images, Sample};
 pub use stream_ext::{DriftModel, ExtendedStream, RunLengthModel, StreamStats};

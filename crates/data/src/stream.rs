@@ -160,10 +160,13 @@ mod tests {
 
     #[test]
     fn streams_are_deterministic_per_seed() {
-        let a: Vec<usize> = stream(4, 9).next_segment(40).unwrap().iter().map(|s| s.label).collect();
-        let b: Vec<usize> = stream(4, 9).next_segment(40).unwrap().iter().map(|s| s.label).collect();
+        let a: Vec<usize> =
+            stream(4, 9).next_segment(40).unwrap().iter().map(|s| s.label).collect();
+        let b: Vec<usize> =
+            stream(4, 9).next_segment(40).unwrap().iter().map(|s| s.label).collect();
         assert_eq!(a, b);
-        let c: Vec<usize> = stream(4, 10).next_segment(40).unwrap().iter().map(|s| s.label).collect();
+        let c: Vec<usize> =
+            stream(4, 10).next_segment(40).unwrap().iter().map(|s| s.label).collect();
         assert_ne!(a, c);
     }
 

@@ -221,14 +221,9 @@ mod tests {
 
     #[test]
     fn fixed_runs_match_paper_stream() {
-        let mut s = ExtendedStream::new(
-            dataset(5),
-            RunLengthModel::Fixed { stc: 4 },
-            DriftModel::None,
-            1,
-        );
-        let labels: Vec<usize> =
-            s.next_segment(20).unwrap().iter().map(|x| x.label).collect();
+        let mut s =
+            ExtendedStream::new(dataset(5), RunLengthModel::Fixed { stc: 4 }, DriftModel::None, 1);
+        let labels: Vec<usize> = s.next_segment(20).unwrap().iter().map(|x| x.label).collect();
         for chunk in labels.chunks(4) {
             assert!(chunk.iter().all(|&l| l == chunk[0]));
         }

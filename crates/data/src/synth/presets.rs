@@ -64,9 +64,9 @@ impl DatasetPreset {
     /// dataset (500 for CIFAR/SVHN, 100 for ImageNet subsets; §IV-A).
     pub fn default_stc(self) -> usize {
         match self {
-            DatasetPreset::Cifar10Like
-            | DatasetPreset::Cifar100Like
-            | DatasetPreset::SvhnLike => 500,
+            DatasetPreset::Cifar10Like | DatasetPreset::Cifar100Like | DatasetPreset::SvhnLike => {
+                500
+            }
             _ => 100,
         }
     }

@@ -60,9 +60,8 @@ impl ClassPrototype {
                     .collect()
             })
             .collect();
-        let gradient = (0..channels)
-            .map(|_| (rng.random::<f32>() - 0.5, rng.random::<f32>() - 0.5))
-            .collect();
+        let gradient =
+            (0..channels).map(|_| (rng.random::<f32>() - 0.5, rng.random::<f32>() - 0.5)).collect();
         let blob_center = (0.2 + 0.6 * rng.random::<f32>(), 0.2 + 0.6 * rng.random::<f32>());
         let blob_sigma = 0.1 + 0.2 * rng.random::<f32>();
         let blob_amplitude = (0..channels).map(|_| rng.random::<f32>() - 0.5).collect();

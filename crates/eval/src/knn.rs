@@ -77,11 +77,7 @@ mod tests {
 
     #[test]
     fn knn_separates_clusters() {
-        let train = Tensor::from_vec(
-            [4, 2],
-            vec![1.0, 0.0, 0.9, 0.1, 0.0, 1.0, 0.1, 0.9],
-        )
-        .unwrap();
+        let train = Tensor::from_vec([4, 2], vec![1.0, 0.0, 0.9, 0.1, 0.0, 1.0, 0.1, 0.9]).unwrap();
         let labels = vec![0, 0, 1, 1];
         let test = Tensor::from_vec([2, 2], vec![0.95, 0.05, 0.05, 0.95]).unwrap();
         assert_eq!(knn_predict(&train, &labels, &test, 2), vec![0, 1]);
@@ -98,11 +94,8 @@ mod tests {
     #[test]
     fn majority_vote_wins_over_single_nearest() {
         // Nearest neighbour is class 1, but classes 0 dominate the top-3.
-        let train = Tensor::from_vec(
-            [4, 2],
-            vec![1.0, 0.0, 0.94, 0.05, 0.93, 0.05, 0.99, 0.01],
-        )
-        .unwrap();
+        let train =
+            Tensor::from_vec([4, 2], vec![1.0, 0.0, 0.94, 0.05, 0.93, 0.05, 0.99, 0.01]).unwrap();
         let labels = vec![1, 0, 0, 0];
         let test = Tensor::from_vec([1, 2], vec![1.0, 0.0]).unwrap();
         assert_eq!(knn_predict(&train, &labels, &test, 3), vec![0]);

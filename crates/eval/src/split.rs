@@ -58,8 +58,7 @@ mod tests {
     fn every_class_is_represented_even_at_one_percent() {
         let data = dataset(20, 10);
         let subset = labeled_fraction(&data, 0.01, 0);
-        let classes: std::collections::HashSet<usize> =
-            subset.iter().map(|s| s.label).collect();
+        let classes: std::collections::HashSet<usize> = subset.iter().map(|s| s.label).collect();
         assert_eq!(classes.len(), 10);
     }
 

@@ -12,9 +12,9 @@
 use sdc_core::grad_analysis::{per_sample_grad_norms, spearman_rank_correlation};
 use sdc_core::score::contrast_scores;
 use sdc_data::augment::flip::hflip;
+use sdc_data::stack_image_tensors;
 use sdc_data::stream::TemporalStream;
 use sdc_data::synth::{DatasetPreset, SynthDataset};
-use sdc_data::stack_image_tensors;
 use sdc_data::Sample;
 use sdc_experiments::{parse_args, policy_by_name, print_table, train_policy, ScaledSetup};
 use sdc_tensor::Tensor;
@@ -57,13 +57,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (rho0, low0, high0) = analyze(&mut fresh, &pool, temperature);
 
     // Briefly trained model.
-    let mut trainer =
-        train_policy(&setup, policy_by_name("contrast", temperature, 37), 37)?;
+    let mut trainer = train_policy(&setup, policy_by_name("contrast", temperature, 37), 37)?;
     let (rho1, low1, high1) = analyze(trainer.model_mut(), &pool, temperature);
 
     print_table(
         "Ablation A2: contrast score vs gradient magnitude (Eq. (5))",
-        &["Encoder", "Spearman ρ(score, ‖grad‖)", "mean ‖grad‖ low-score Q1", "mean ‖grad‖ high-score Q4"],
+        &[
+            "Encoder",
+            "Spearman ρ(score, ‖grad‖)",
+            "mean ‖grad‖ low-score Q1",
+            "mean ‖grad‖ high-score Q4",
+        ],
         &[
             vec![
                 "untrained".into(),

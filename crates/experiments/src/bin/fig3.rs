@@ -6,7 +6,9 @@
 
 use sdc_data::synth::DatasetPreset;
 use sdc_eval::{labeled_fraction, linear_probe, supervised_baseline, SupervisedConfig};
-use sdc_experiments::{parse_args, policy_by_name, print_table, train_policy, EvalSets, ScaledSetup};
+use sdc_experiments::{
+    parse_args, policy_by_name, print_table, train_policy, EvalSets, ScaledSetup,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (scale, _) = parse_args();
@@ -25,8 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut row = vec![name.to_string()];
         for (fi, &fraction) in fractions.iter().enumerate() {
             let labeled = labeled_fraction(&eval.train, fraction, 11);
-            let result =
-                linear_probe(trainer.model_mut(), &labeled, &eval.test, eval.classes, &setup.probe)?;
+            let result = linear_probe(
+                trainer.model_mut(),
+                &labeled,
+                &eval.test,
+                eval.classes,
+                &setup.probe,
+            )?;
             if policy == "contrast" {
                 contrast_acc[fi] = result.test_accuracy;
             }
@@ -46,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &labeled,
             &eval.test,
             eval.classes,
-            &SupervisedConfig { epochs: setup.probe.epochs, seed: 11, ..SupervisedConfig::default() },
+            &SupervisedConfig {
+                epochs: setup.probe.epochs,
+                seed: 11,
+                ..SupervisedConfig::default()
+            },
         )?;
         supervised_row.push(format!("{acc:.2}", acc = acc * 100.0));
         supervised_row.push(format!("{:+.2}", (contrast_acc[fi] - acc) * 100.0));

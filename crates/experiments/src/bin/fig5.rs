@@ -11,10 +11,9 @@ use sdc_experiments::{
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (scale, _) = parse_args();
     println!("fig5: scale={}", scale.name());
-    for (panel, preset) in [
-        ("Fig. 5(a)", DatasetPreset::ImageNet20Like),
-        ("Fig. 5(b)", DatasetPreset::ImageNet50Like),
-    ] {
+    for (panel, preset) in
+        [("Fig. 5(a)", DatasetPreset::ImageNet20Like), ("Fig. 5(b)", DatasetPreset::ImageNet50Like)]
+    {
         let setup = ScaledSetup::new(preset, scale, 13);
         let eval = EvalSets::for_setup(&setup, 13)?;
         let mut curves = Vec::new();

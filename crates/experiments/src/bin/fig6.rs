@@ -11,10 +11,9 @@ use sdc_experiments::{
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (scale, _) = parse_args();
     println!("fig6: scale={}", scale.name());
-    for (panel, preset) in [
-        ("Fig. 6(a)", DatasetPreset::SvhnLike),
-        ("Fig. 6(b)", DatasetPreset::Cifar100Like),
-    ] {
+    for (panel, preset) in
+        [("Fig. 6(a)", DatasetPreset::SvhnLike), ("Fig. 6(b)", DatasetPreset::Cifar100Like)]
+    {
         let setup = ScaledSetup::new(preset, scale, 17);
         let eval = EvalSets::for_setup(&setup, 17)?;
         let mut curves = Vec::new();

@@ -6,7 +6,9 @@
 
 use sdc_data::synth::DatasetPreset;
 use sdc_eval::linear_probe;
-use sdc_experiments::{parse_args, policy_by_name, print_table, train_policy, EvalSets, ScaledSetup};
+use sdc_experiments::{
+    parse_args, policy_by_name, print_table, train_policy, EvalSets, ScaledSetup,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (scale, _) = parse_args();
@@ -18,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // "never re-score"; clamp the sweep to the iteration budget.
     let intervals: Vec<Option<u32>> = [None, Some(4), Some(20), Some(50), Some(100), Some(200)]
         .into_iter()
-        .filter(|t| t.map_or(true, |t| (t as usize) <= setup.iterations))
+        .filter(|t| t.is_none_or(|t| (t as usize) <= setup.iterations))
         .collect();
 
     let mut rows = Vec::new();
@@ -51,7 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     print_table(
         "Table I: lazy scoring on CIFAR-10(synth)",
-        &["Lazy Interval", "Accuracy (%) (Δ vs disabled)", "Re-scoring Pct. (%)", "Relative Batch Time"],
+        &[
+            "Lazy Interval",
+            "Accuracy (%) (Δ vs disabled)",
+            "Re-scoring Pct. (%)",
+            "Relative Batch Time",
+        ],
         &rows,
     );
     println!(

@@ -115,7 +115,7 @@ pub fn run_policy_curve(
     for _ in 0..setup.iterations {
         let segment = stream.next_segment(setup.trainer.buffer_size)?;
         trainer.step(segment)?;
-        if trainer.iteration() % every as u64 == 0 {
+        if trainer.iteration().is_multiple_of(every as u64) {
             let result = linear_probe(
                 trainer.model_mut(),
                 &eval.train,

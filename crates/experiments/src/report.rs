@@ -36,12 +36,8 @@ pub fn print_series(title: &str, curves: &[LearningCurve]) {
     println!("{}", header.join("\t"));
     let max_points = curves.iter().map(|c| c.points.len()).max().unwrap_or(0);
     for i in 0..max_points {
-        let seen = curves
-            .iter()
-            .filter_map(|c| c.points.get(i))
-            .map(|p| p.seen)
-            .next()
-            .unwrap_or(0);
+        let seen =
+            curves.iter().filter_map(|c| c.points.get(i)).map(|p| p.seen).next().unwrap_or(0);
         let mut row = vec![format!("{seen}")];
         for c in curves {
             row.push(

@@ -92,12 +92,18 @@ impl ScaledSetup {
             }
             _ => 0.07,
         };
-        let (buffer_size, iterations, checkpoints, per_class_train, per_class_test, encoder): (usize, usize, usize, usize, usize, EncoderConfig) =
-            match scale {
-                ExperimentScale::Smoke => (8, 12, 3, 6, 4, EncoderConfig::tiny()),
-                ExperimentScale::Default => (16, 240, 8, 24, 12, EncoderConfig::small()),
-                ExperimentScale::Full => (256, 2000, 10, 100, 50, EncoderConfig::resnet18()),
-            };
+        let (buffer_size, iterations, checkpoints, per_class_train, per_class_test, encoder): (
+            usize,
+            usize,
+            usize,
+            usize,
+            usize,
+            EncoderConfig,
+        ) = match scale {
+            ExperimentScale::Smoke => (8, 12, 3, 6, 4, EncoderConfig::tiny()),
+            ExperimentScale::Default => (16, 240, 8, 24, 12, EncoderConfig::small()),
+            ExperimentScale::Full => (256, 2000, 10, 100, 50, EncoderConfig::resnet18()),
+        };
         // Large class counts need a larger eval pool to be meaningful but
         // per-class sizes can shrink to keep runtime bounded.
         let classes = preset.classes();
@@ -119,12 +125,7 @@ impl ScaledSetup {
             temperature,
             learning_rate: 2e-3,
             weight_decay: 1e-4,
-            model: ModelConfig {
-                encoder,
-                projection_hidden: 64,
-                projection_dim: 32,
-                seed,
-            },
+            model: ModelConfig { encoder, projection_hidden: 64, projection_dim: 32, seed },
             seed,
         };
         let probe = ProbeConfig {

@@ -65,14 +65,13 @@ impl<'a> Reader<'a> {
 
     fn tensor(&mut self) -> Result<Tensor> {
         let rank = self.u32()? as usize;
-        let dims: Vec<usize> = (0..rank).map(|_| self.u32().map(|v| v as usize)).collect::<Result<_>>()?;
+        let dims: Vec<usize> =
+            (0..rank).map(|_| self.u32().map(|v| v as usize)).collect::<Result<_>>()?;
         let shape = Shape::new(dims);
         let n = shape.num_elements();
         let raw = self.take(n * 4)?;
-        let data = raw
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
+        let data =
+            raw.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
         Tensor::from_vec(shape, data)
     }
 }

@@ -7,7 +7,11 @@ use sdc_tensor::{Shape, Tensor};
 ///
 /// Suited to ReLU networks; used for all convolution and linear weights
 /// in this stack.
-pub fn he_normal<R: Rng + RngExt + ?Sized>(shape: impl Into<Shape>, fan_in: usize, rng: &mut R) -> Tensor {
+pub fn he_normal<R: Rng + RngExt + ?Sized>(
+    shape: impl Into<Shape>,
+    fan_in: usize,
+    rng: &mut R,
+) -> Tensor {
     let std = (2.0 / fan_in.max(1) as f32).sqrt();
     Tensor::randn(shape, std, rng)
 }
@@ -40,9 +44,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let t = he_normal([10_000], 50, &mut rng);
         let mean = t.mean();
-        let std = (t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>()
-            / t.len() as f32)
-            .sqrt();
+        let std =
+            (t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / t.len() as f32).sqrt();
         let expect = (2.0f32 / 50.0).sqrt();
         assert!((std - expect).abs() < 0.01, "std {std}, expect {expect}");
     }

@@ -38,8 +38,7 @@ impl BatchNorm2d {
         let beta = store.add_param(format!("{name}.beta"), Tensor::zeros([channels]));
         let running_mean =
             store.add_buffer(format!("{name}.running_mean"), Tensor::zeros([channels]));
-        let running_var =
-            store.add_buffer(format!("{name}.running_var"), Tensor::ones([channels]));
+        let running_var = store.add_buffer(format!("{name}.running_var"), Tensor::ones([channels]));
         Self { gamma, beta, running_mean, running_var, channels, eps, momentum }
     }
 
@@ -71,25 +70,26 @@ impl BatchNorm2d {
 
 impl Module for BatchNorm2d {
     fn forward(&self, ctx: &mut Forward<'_>, x: VarId) -> Result<VarId> {
-        let gamma = ctx.bindings.bind(ctx.graph, ctx.store, self.gamma);
-        let beta = ctx.bindings.bind(ctx.graph, ctx.store, self.beta);
+        let gamma = ctx.bind(self.gamma);
+        let beta = ctx.bind(self.beta);
         if ctx.train {
             let (y, stats) = ctx.graph.batch_norm2d(x, gamma, beta, self.eps, None)?;
             let stats = stats.expect("training mode returns batch statistics");
             // Blend batch statistics into the running buffers.
             let m = self.momentum;
-            let mean_buf = &mut ctx.store.buffer_mut(self.running_mean).value;
+            let store = ctx.store_mut();
+            let mean_buf = &mut store.buffer_mut(self.running_mean).value;
             for (r, &b) in mean_buf.data_mut().iter_mut().zip(&stats.mean) {
                 *r = (1.0 - m) * *r + m * b;
             }
-            let var_buf = &mut ctx.store.buffer_mut(self.running_var).value;
+            let var_buf = &mut store.buffer_mut(self.running_var).value;
             for (r, &b) in var_buf.data_mut().iter_mut().zip(&stats.var) {
                 *r = (1.0 - m) * *r + m * b;
             }
             Ok(y)
         } else {
-            let mean = ctx.store.buffer(self.running_mean).value.data().to_vec();
-            let var = ctx.store.buffer(self.running_var).value.data().to_vec();
+            let mean = ctx.store().buffer(self.running_mean).value.data().to_vec();
+            let var = ctx.store().buffer(self.running_var).value.data().to_vec();
             let (y, _) = ctx.graph.batch_norm2d(x, gamma, beta, self.eps, Some((&mean, &var)))?;
             Ok(y)
         }

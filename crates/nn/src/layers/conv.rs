@@ -69,8 +69,8 @@ impl Conv2d {
 
 impl Module for Conv2d {
     fn forward(&self, ctx: &mut Forward<'_>, x: VarId) -> Result<VarId> {
-        let w = ctx.bindings.bind(ctx.graph, ctx.store, self.weight);
-        let b = self.bias.map(|bid| ctx.bindings.bind(ctx.graph, ctx.store, bid));
+        let w = ctx.bind(self.weight);
+        let b = self.bias.map(|bid| ctx.bind(bid));
         ctx.graph.conv2d(x, w, b, self.stride, self.padding)
     }
 }

@@ -73,10 +73,10 @@ impl Linear {
 
 impl Module for Linear {
     fn forward(&self, ctx: &mut Forward<'_>, x: VarId) -> Result<VarId> {
-        let w = ctx.bindings.bind(ctx.graph, ctx.store, self.weight);
+        let w = ctx.bind(self.weight);
         let mut y = ctx.graph.matmul_nt(x, w)?;
         if let Some(bias) = self.bias {
-            let b = ctx.bindings.bind(ctx.graph, ctx.store, bias);
+            let b = ctx.bind(bias);
             y = ctx.graph.add_bias(y, b)?;
         }
         Ok(y)

@@ -58,9 +58,7 @@ mod tests {
         let mut store = ParamStore::new();
         let mut bind = Bindings::new();
         let mut ctx = Forward::new(&mut g, &mut store, &mut bind, true);
-        let x = ctx.graph.leaf(
-            Tensor::from_vec([1, 1, 2, 2], vec![-1.0, 2.0, 3.0, -4.0]).unwrap(),
-        );
+        let x = ctx.graph.leaf(Tensor::from_vec([1, 1, 2, 2], vec![-1.0, 2.0, 3.0, -4.0]).unwrap());
         let r = Relu.forward(&mut ctx, x).unwrap();
         let p = MaxPool2d::new(2, 2).forward(&mut ctx, r).unwrap();
         let a = GlobalAvgPool.forward(&mut ctx, p).unwrap();

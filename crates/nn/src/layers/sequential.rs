@@ -86,9 +86,7 @@ mod tests {
         let mut store = ParamStore::new();
         let mut bind = Bindings::new();
         let mut ctx = Forward::new(&mut g, &mut store, &mut bind, true);
-        let x = ctx.graph.leaf(
-            Tensor::from_vec([1, 1, 2, 2], vec![-4.0, 2.0, 6.0, -8.0]).unwrap(),
-        );
+        let x = ctx.graph.leaf(Tensor::from_vec([1, 1, 2, 2], vec![-4.0, 2.0, 6.0, -8.0]).unwrap());
         let y = stack.forward(&mut ctx, x).unwrap();
         // relu: [0, 2, 6, 0] -> avg = 2.
         assert_eq!(g.value(y).data(), &[2.0]);

@@ -32,5 +32,5 @@ pub mod optim;
 mod param;
 
 pub use ema::EmaTracker;
-pub use module::{Forward, Module};
+pub use module::{Forward, Module, StoreAccess};
 pub use param::{Bindings, Buffer, BufferId, ParamId, ParamStore, Parameter};

@@ -2,19 +2,33 @@
 
 use sdc_tensor::{Graph, Result, VarId};
 
-use crate::param::{Bindings, ParamStore};
+use crate::param::{Bindings, ParamId, ParamStore};
+
+/// How a forward pass may touch the parameter store.
+///
+/// Training needs exclusive access (batch-norm folds batch statistics
+/// into its running buffers); evaluation only reads, so an eval context
+/// can borrow the store shared — which is what lets several worker
+/// threads run eval forwards over one model concurrently (see
+/// `sdc-core`'s parallel contrast scoring).
+#[derive(Debug)]
+pub enum StoreAccess<'a> {
+    /// Read-only store (evaluation contexts).
+    Shared(&'a ParamStore),
+    /// Exclusive store (training contexts).
+    Exclusive(&'a mut ParamStore),
+}
 
 /// Mutable context threaded through a forward pass.
 ///
-/// Bundles the graph being built, the parameter store (mutable because
-/// batch-norm updates running statistics during training), the per-step
-/// [`Bindings`], and the train/eval mode flag.
+/// Bundles the graph being built, the parameter store access, the
+/// per-step [`Bindings`], and the train/eval mode flag.
 #[derive(Debug)]
 pub struct Forward<'a> {
     /// Graph under construction.
     pub graph: &'a mut Graph,
     /// Model parameters and buffers.
-    pub store: &'a mut ParamStore,
+    store: StoreAccess<'a>,
     /// Parameter → leaf bindings for this step.
     pub bindings: &'a mut Bindings,
     /// `true` during training (batch statistics, running-stat updates).
@@ -22,14 +36,60 @@ pub struct Forward<'a> {
 }
 
 impl<'a> Forward<'a> {
-    /// Creates a forward context.
+    /// Creates a forward context with exclusive store access (required
+    /// for training; also valid for evaluation).
     pub fn new(
         graph: &'a mut Graph,
         store: &'a mut ParamStore,
         bindings: &'a mut Bindings,
         train: bool,
     ) -> Self {
-        Self { graph, store, bindings, train }
+        Self { graph, store: StoreAccess::Exclusive(store), bindings, train }
+    }
+
+    /// Creates an evaluation-mode context over a shared store borrow.
+    ///
+    /// Layers must not (and do not) mutate the store in eval mode; a
+    /// layer that calls [`Forward::store_mut`] through this context
+    /// panics, turning an accidental eval-mode mutation into a loud
+    /// failure instead of a data race.
+    pub fn new_shared(
+        graph: &'a mut Graph,
+        store: &'a ParamStore,
+        bindings: &'a mut Bindings,
+    ) -> Self {
+        Self { graph, store: StoreAccess::Shared(store), bindings, train: false }
+    }
+
+    /// Read access to the parameter store.
+    pub fn store(&self) -> &ParamStore {
+        match &self.store {
+            StoreAccess::Shared(s) => s,
+            StoreAccess::Exclusive(s) => s,
+        }
+    }
+
+    /// Write access to the parameter store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context was built with [`Forward::new_shared`].
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        match &mut self.store {
+            StoreAccess::Shared(_) => {
+                panic!("store_mut on a shared (eval) forward context")
+            }
+            StoreAccess::Exclusive(s) => s,
+        }
+    }
+
+    /// Binds `param`'s current value into the graph as a leaf and
+    /// records the pairing for gradient read-back.
+    pub fn bind(&mut self, param: ParamId) -> VarId {
+        let value = self.store().param(param).value.clone();
+        let id = self.graph.leaf(value);
+        self.bindings.record(param, id);
+        id
     }
 }
 

@@ -4,9 +4,10 @@ use serde::{Deserialize, Serialize};
 
 /// A learning-rate schedule: maps a step index to a multiplier of the
 /// base learning rate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum LrSchedule {
     /// Constant multiplier 1.
+    #[default]
     Constant,
     /// Multiply by `gamma` every `step_size` steps.
     Step {
@@ -37,9 +38,7 @@ impl LrSchedule {
     pub fn factor(&self, step: u64) -> f32 {
         match *self {
             LrSchedule::Constant => 1.0,
-            LrSchedule::Step { step_size, gamma } => {
-                gamma.powi((step / step_size.max(1)) as i32)
-            }
+            LrSchedule::Step { step_size, gamma } => gamma.powi((step / step_size.max(1)) as i32),
             LrSchedule::Cosine { total_steps, min_factor } => {
                 let t = (step.min(total_steps) as f32) / total_steps.max(1) as f32;
                 let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
@@ -59,12 +58,6 @@ impl LrSchedule {
     /// The absolute learning rate at `step` for a given base rate.
     pub fn learning_rate(&self, base_lr: f32, step: u64) -> f32 {
         base_lr * self.factor(step)
-    }
-}
-
-impl Default for LrSchedule {
-    fn default() -> Self {
-        LrSchedule::Constant
     }
 }
 

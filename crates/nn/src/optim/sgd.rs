@@ -30,8 +30,7 @@ impl Optimizer for Sgd {
         }
         for (i, p) in store.params_mut().iter_mut().enumerate() {
             let v = &mut self.velocity[i];
-            for ((vd, &gd), w) in
-                v.data_mut().iter_mut().zip(p.grad.data()).zip(p.value.data_mut())
+            for ((vd, &gd), w) in v.data_mut().iter_mut().zip(p.grad.data()).zip(p.value.data_mut())
             {
                 let g = gd + self.weight_decay * *w;
                 *vd = self.momentum * *vd + g;

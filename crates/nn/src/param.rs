@@ -164,6 +164,12 @@ impl Bindings {
         id
     }
 
+    /// Records an externally created param → leaf pairing (used by
+    /// [`Forward::bind`](crate::Forward::bind)).
+    pub fn record(&mut self, param: ParamId, leaf: VarId) {
+        self.bound.push((param, leaf));
+    }
+
     /// Adds each bound leaf's gradient into the corresponding parameter's
     /// `grad` accumulator. Leaves the graph untouched.
     pub fn accumulate_grads(&self, graph: &Graph, store: &mut ParamStore) {

@@ -1,0 +1,97 @@
+//! Bounded channels for pipeline stages.
+//!
+//! A thin wrapper over `std::sync::mpsc::sync_channel` giving the
+//! stack one vocabulary for bounded hand-off queues (the data layer's
+//! prefetching stream produces into one of these while training
+//! consumes), plus explicit disconnect reporting.
+
+use std::sync::mpsc;
+
+/// Sending half of a bounded channel.
+#[derive(Debug)]
+pub struct Sender<T> {
+    inner: mpsc::SyncSender<T>,
+}
+
+/// Receiving half of a bounded channel.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+/// Error returned when the other half of a channel is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "channel disconnected")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+/// Creates a bounded channel with space for `capacity` in-flight items.
+///
+/// A `capacity` of 1 gives classic double buffering: the producer works
+/// on item `k + 1` while the consumer holds item `k`.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(capacity.max(1));
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, blocking while the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back if the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        self.inner.send(value).map_err(|e| e.0)
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next value, blocking while the channel is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Disconnected`] if the sender is gone and the channel
+    /// is drained.
+    pub fn recv(&self) -> Result<T, Disconnected> {
+        self.inner.recv().map_err(|_| Disconnected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_arrive_in_order() {
+        let (tx, rx) = bounded(2);
+        std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dropped_receiver_reports_to_sender() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(7));
+    }
+
+    #[test]
+    fn dropped_sender_reports_to_receiver() {
+        let (tx, rx) = bounded::<i32>(1);
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(Disconnected));
+    }
+}

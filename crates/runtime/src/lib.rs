@@ -1,0 +1,574 @@
+//! # sdc-runtime
+//!
+//! A dependency-free parallel execution subsystem for the *Selective
+//! Data Contrast* stack: a fixed-size worker pool with data-parallel
+//! primitives ([`par_for`], [`par_chunks_mut`], [`par_reduce`]) and a
+//! bounded [`channel`] used for stream prefetching.
+//!
+//! ## Determinism contract
+//!
+//! Every primitive derives its chunking from the **problem size only**
+//! — never from the thread count — and [`par_reduce`] combines partial
+//! results in fixed chunk order. A kernel written against these
+//! primitives therefore produces **bit-identical** results at any
+//! `SDC_THREADS` setting, which the stack's reproducibility tests rely
+//! on. Threads change *when* a chunk runs, never *what* it computes or
+//! the order its contribution is folded in.
+//!
+//! ## Configuration
+//!
+//! The global pool ([`Runtime::global`]) sizes itself from the
+//! `SDC_THREADS` environment variable, defaulting to the machine's
+//! available parallelism. `SDC_THREADS=1` disables the pool entirely
+//! (every primitive degenerates to its serial loop). Tests and benches
+//! construct private pools with [`Runtime::new`] and activate them with
+//! [`Runtime::install`].
+//!
+//! ```
+//! use sdc_runtime::Runtime;
+//!
+//! let rt = Runtime::new(4);
+//! let mut squares = vec![0u64; 1000];
+//! rt.install(|| {
+//!     sdc_runtime::par_chunks_mut(&mut squares, 64, |chunk_index, chunk| {
+//!         for (i, v) in chunk.iter_mut().enumerate() {
+//!             let idx = (chunk_index * 64 + i) as u64;
+//!             *v = idx * idx;
+//!         }
+//!     });
+//! });
+//! assert_eq!(squares[999], 999 * 999);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod channel;
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Environment variable controlling the global pool's thread count.
+pub const THREADS_ENV: &str = "SDC_THREADS";
+
+/// One queued data-parallel invocation.
+///
+/// The body pointer is only dereferenced while `pending > 0`; the
+/// submitting thread blocks until `pending == 0` before returning, so
+/// the borrow the pointer erases is live for every dereference.
+struct Job {
+    /// Next chunk index to claim.
+    next: AtomicUsize,
+    /// Chunks claimed but not yet finished + chunks not yet claimed.
+    pending: AtomicUsize,
+    n_chunks: usize,
+    /// `body(chunk_index)`; lifetime erased, see struct docs.
+    body: NonNull<dyn Fn(usize) + Sync>,
+    /// First captured panic payload from a chunk body, re-raised on the
+    /// submitting thread so diagnostics match the serial path.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs chunks until none remain. Returns whether any
+    /// chunk body panicked (the panic itself is captured).
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::SeqCst);
+            if i >= self.n_chunks {
+                return;
+            }
+            let body = unsafe { self.body.as_ref() };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(i))) {
+                let mut slot = self.panic_payload.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(payload);
+            }
+            if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let _g = self.done_lock.lock().unwrap_or_else(|e| e.into_inner());
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::SeqCst) >= self.n_chunks
+    }
+}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Blocks until a job with unclaimed chunks is available (returning
+    /// a handle to it) or the pool shuts down (returning `None`).
+    fn next_job(&self) -> Option<Arc<Job>> {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            while let Some(front) = q.front() {
+                if front.exhausted() {
+                    q.pop_front();
+                    continue;
+                }
+                return Some(Arc::clone(front));
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            q = self.work_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// A fixed-size worker pool executing deterministic data-parallel jobs.
+///
+/// The pool owns `threads - 1` OS threads; the thread submitting a job
+/// always participates in executing it, so a 1-thread runtime spawns no
+/// workers and runs everything inline.
+pub struct Runtime {
+    pool: Pool,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// A cheaply cloneable handle to a pool's queue + size. Worker threads
+/// hold one as their ambient runtime, so nested dispatch issued from
+/// inside a chunk body lands on the **same** pool instead of silently
+/// escaping to the global one.
+#[derive(Clone)]
+struct Pool {
+    shared: Arc<Shared>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime").field("threads", &self.pool.threads).finish()
+    }
+}
+
+impl Runtime {
+    /// Creates a pool using `threads` total threads (minimum 1; the
+    /// calling thread counts as one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let pool = Pool { shared: Arc::clone(&shared), threads };
+                std::thread::Builder::new()
+                    .name(format!("sdc-runtime-{i}"))
+                    .spawn(move || {
+                        // The owning pool is this worker's ambient
+                        // runtime: nested dispatch from chunk bodies
+                        // stays on it.
+                        CURRENT.with(|c| *c.borrow_mut() = Some(pool.clone()));
+                        while let Some(job) = pool.shared.next_job() {
+                            job.work();
+                        }
+                    })
+                    .expect("spawn runtime worker")
+            })
+            .collect();
+        Self { pool: Pool { shared, threads }, workers }
+    }
+
+    /// Creates a pool sized from `SDC_THREADS`, falling back to the
+    /// machine's available parallelism.
+    pub fn from_env() -> Self {
+        Self::new(threads_from_env())
+    }
+
+    /// The process-wide pool (sized from `SDC_THREADS` on first use).
+    pub fn global() -> &'static Runtime {
+        static GLOBAL: OnceLock<Runtime> = OnceLock::new();
+        GLOBAL.get_or_init(Runtime::from_env)
+    }
+
+    /// Total threads (workers + the submitting thread).
+    pub fn threads(&self) -> usize {
+        self.pool.threads
+    }
+
+    /// Runs `f` with this runtime as the ambient pool used by the
+    /// free-function primitives ([`par_for`] etc.) on this thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(self.pool.clone()));
+        struct Restore(Option<Pool>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0.take();
+                CURRENT.with(|c| *c.borrow_mut() = prev);
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// Instance form of [`par_for`].
+    pub fn par_for(&self, n: usize, chunk: usize, body: impl Fn(Range<usize>) + Sync) {
+        self.pool.par_for(n, chunk, body);
+    }
+}
+
+impl Pool {
+    /// Runs `body(chunk_index)` for every chunk index in
+    /// `0..n_chunks`, distributing chunks over the pool. Blocks until
+    /// all chunks finished. Propagates panics from chunk bodies.
+    fn dispatch(&self, n_chunks: usize, body: &(dyn Fn(usize) + Sync)) {
+        if n_chunks == 0 {
+            return;
+        }
+        if self.threads == 1 || n_chunks == 1 {
+            for i in 0..n_chunks {
+                body(i);
+            }
+            return;
+        }
+        // Erase the borrow; `Job` documents why this is sound.
+        let body: NonNull<dyn Fn(usize) + Sync> = NonNull::from(body);
+        let body: NonNull<dyn Fn(usize) + Sync> = unsafe { std::mem::transmute(body) };
+        let job = Arc::new(Job {
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(n_chunks),
+            n_chunks,
+            body,
+            panic_payload: Mutex::new(None),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(Arc::clone(&job));
+        }
+        self.shared.work_cv.notify_all();
+
+        // The submitting thread works too — this also guarantees
+        // progress (and hence deadlock freedom) for nested dispatches
+        // issued from worker threads.
+        job.work();
+
+        let mut g = job.done_lock.lock().unwrap_or_else(|e| e.into_inner());
+        while job.pending.load(Ordering::SeqCst) > 0 {
+            g = job.done_cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(g);
+        let payload = job.panic_payload.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// See [`Runtime::par_for`].
+    fn par_for(&self, n: usize, chunk: usize, body: impl Fn(Range<usize>) + Sync) {
+        let chunk = chunk.max(1);
+        let n_chunks = n.div_ceil(chunk);
+        self.dispatch(n_chunks, &|i| {
+            let start = i * chunk;
+            body(start..(start + chunk).min(n));
+        });
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.pool.shared.shutdown.store(true, Ordering::SeqCst);
+        self.pool.shared.work_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Pool>> = const { RefCell::new(None) };
+}
+
+/// Resolves the thread count from `SDC_THREADS`, falling back to
+/// available parallelism.
+pub fn threads_from_env() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("sdc-runtime: ignoring invalid {THREADS_ENV}={v:?}");
+                default_threads()
+            }
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` against the ambient pool: the pool owning this worker
+/// thread, the innermost [`Runtime::install`] scope, or the global
+/// pool.
+fn with_current<R>(f: impl FnOnce(&Pool) -> R) -> R {
+    let pool = CURRENT.with(|c| c.borrow().clone());
+    match pool {
+        Some(pool) => f(&pool),
+        None => f(&Runtime::global().pool),
+    }
+}
+
+/// The ambient runtime's thread count.
+pub fn current_threads() -> usize {
+    with_current(|p| p.threads)
+}
+
+/// Runs `body` over `0..n` in fixed chunks of `chunk` indices,
+/// distributing chunks across the ambient runtime's threads.
+///
+/// Chunk boundaries depend only on `n` and `chunk`, so any value the
+/// body computes per index is identical at every thread count.
+pub fn par_for(n: usize, chunk: usize, body: impl Fn(Range<usize>) + Sync) {
+    with_current(|pool| pool.par_for(n, chunk, body));
+}
+
+/// Splits `data` into fixed `chunk`-sized pieces and runs
+/// `body(chunk_index, piece)` for each in parallel.
+pub fn par_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk: usize,
+    body: impl Fn(usize, &mut [T]) + Sync,
+) {
+    let chunk = chunk.max(1);
+    let n = data.len();
+    let base = SendPtr(data.as_mut_ptr());
+    par_for(n, chunk, |range| {
+        let start = range.start;
+        let len = range.end - range.start;
+        // Soundness: ranges produced by `par_for` with one fixed chunk
+        // size are pairwise disjoint, so each slice is exclusively owned
+        // by this closure call.
+        let piece = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), len) };
+        body(start / chunk, piece);
+    });
+}
+
+/// Maps fixed chunks of `0..n` through `map` in parallel, then folds
+/// the per-chunk partials **in ascending chunk order** — the fold order,
+/// and therefore any floating-point rounding, is independent of the
+/// thread count.
+///
+/// Returns `identity()` when `n == 0`.
+pub fn par_reduce<T: Send>(
+    n: usize,
+    chunk: usize,
+    identity: impl Fn() -> T,
+    map: impl Fn(Range<usize>) -> T + Sync,
+    mut fold: impl FnMut(T, T) -> T,
+) -> T {
+    let chunk = chunk.max(1);
+    let n_chunks = n.div_ceil(chunk);
+    let mut partials: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
+    {
+        let slots = SendPtr(partials.as_mut_ptr());
+        par_for(n, chunk, |range| {
+            let idx = range.start / chunk;
+            let value = map(range);
+            // Soundness: each chunk index writes exactly one distinct slot.
+            unsafe { slots.get().add(idx).write(Some(value)) };
+        });
+    }
+    partials
+        .into_iter()
+        .map(|p| p.expect("every chunk produced a partial"))
+        .fold(identity(), &mut fold)
+}
+
+/// A raw pointer that asserts cross-thread transferability; used to hand
+/// disjoint regions of one allocation to parallel chunk bodies.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// The pointer. Going through a method (rather than the field)
+    /// makes closures capture the whole `SendPtr`, keeping its
+    /// `Send`/`Sync` assertions in effect under disjoint capture.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_for_covers_every_index_once() {
+        for threads in [1, 2, 3, 7] {
+            let rt = Runtime::new(threads);
+            let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+            rt.install(|| {
+                par_for(100, 7, |range| {
+                    for i in range {
+                        hits[i].fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_pieces() {
+        let rt = Runtime::new(4);
+        let mut data = vec![0usize; 103];
+        rt.install(|| {
+            par_chunks_mut(&mut data, 10, |ci, piece| {
+                for (i, v) in piece.iter_mut().enumerate() {
+                    *v = ci * 10 + i;
+                }
+            });
+        });
+        let want: Vec<usize> = (0..103).collect();
+        assert_eq!(data, want);
+    }
+
+    #[test]
+    fn par_reduce_is_thread_count_invariant() {
+        // A sum whose fp rounding depends on fold order: identical
+        // results across thread counts prove the fixed-order contract.
+        let values: Vec<f32> = (0..1000).map(|i| ((i * 37) % 100) as f32 * 1e-3 + 1.0).collect();
+        let sum_at = |threads: usize| {
+            let rt = Runtime::new(threads);
+            rt.install(|| {
+                par_reduce(
+                    values.len(),
+                    13,
+                    || 0.0f32,
+                    |r| r.map(|i| values[i]).fold(0.0f32, |a, b| a + b),
+                    |a, b| a + b,
+                )
+            })
+        };
+        let s1 = sum_at(1);
+        assert_eq!(s1.to_bits(), sum_at(2).to_bits());
+        assert_eq!(s1.to_bits(), sum_at(7).to_bits());
+    }
+
+    #[test]
+    fn nested_dispatch_does_not_deadlock() {
+        let rt = Runtime::new(3);
+        let total = AtomicU64::new(0);
+        rt.install(|| {
+            par_for(8, 1, |outer| {
+                for _ in outer {
+                    par_for(16, 4, |inner| {
+                        total.fetch_add(inner.len() as u64, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 8 * 16);
+    }
+
+    #[test]
+    fn workers_inherit_their_owning_pool() {
+        // Chunk bodies run on worker threads; the ambient runtime there
+        // must be the owning pool (same thread budget), not the global
+        // one — otherwise nested dispatch would escape the installed cap.
+        let rt = Runtime::new(5);
+        let ok = AtomicUsize::new(0);
+        rt.install(|| {
+            par_for(64, 1, |_| {
+                if current_threads() == 5 {
+                    ok.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn panic_payload_reaches_the_caller() {
+        let rt = Runtime::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            rt.install(|| {
+                par_for(64, 1, |r| {
+                    assert!(r.start != 40, "chunk {} exploded", r.start);
+                });
+            });
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("assert message preserved");
+        assert!(msg.contains("chunk 40 exploded"), "{msg}");
+    }
+
+    #[test]
+    fn install_scopes_nest_and_restore() {
+        let outer = Runtime::new(2);
+        let inner = Runtime::new(5);
+        outer.install(|| {
+            assert_eq!(current_threads(), 2);
+            inner.install(|| assert_eq!(current_threads(), 5));
+            assert_eq!(current_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn empty_and_single_chunk_work() {
+        let rt = Runtime::new(4);
+        rt.install(|| {
+            par_for(0, 8, |_| panic!("no chunks expected"));
+            let hits = AtomicUsize::new(0);
+            par_for(3, 8, |r| {
+                hits.fetch_add(r.len(), Ordering::SeqCst);
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), 3);
+        });
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_caller() {
+        let rt = Runtime::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            rt.install(|| {
+                par_for(64, 1, |r| {
+                    if r.start == 33 {
+                        panic!("boom");
+                    }
+                });
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must still be usable afterwards.
+        let hits = AtomicUsize::new(0);
+        rt.install(|| {
+            par_for(10, 2, |r| {
+                hits.fetch_add(r.len(), Ordering::SeqCst);
+            })
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 10);
+    }
+}

@@ -9,6 +9,8 @@
 //! * [`core`] — contrast scoring, replacement policies, the on-device
 //!   trainer (the paper's contribution).
 //! * [`eval`] — linear/kNN probes, supervised baseline, learning curves.
+//! * [`runtime`] — the parallel execution subsystem (worker pool,
+//!   deterministic data-parallel kernels, prefetch channels).
 //!
 //! ```
 //! use sdc::core::{ContrastScoringPolicy, StreamTrainer, TrainerConfig};
@@ -35,4 +37,5 @@ pub use sdc_core as core;
 pub use sdc_data as data;
 pub use sdc_eval as eval;
 pub use sdc_nn as nn;
+pub use sdc_runtime as runtime;
 pub use sdc_tensor as tensor;

@@ -27,10 +27,6 @@ use crate::ops::elementwise::{
     ln_backward, ln_forward, sigmoid_backward, sigmoid_forward, sqrt_backward, sqrt_forward,
     tanh_backward, tanh_forward,
 };
-use crate::ops::reduce::{
-    mean_rows_backward, mean_rows_forward, sum_cols_backward, sum_cols_forward,
-    sum_rows_backward, sum_rows_forward,
-};
 use crate::ops::matmul::{matmul, matmul_nt, matmul_tn, transpose};
 use crate::ops::norm::{
     batch_norm2d_backward, batch_norm2d_forward, l2_normalize_rows_backward,
@@ -39,6 +35,10 @@ use crate::ops::norm::{
 use crate::ops::pool::{
     avg_pool2d_backward, avg_pool2d_forward, global_avg_pool_backward, global_avg_pool_forward,
     max_pool2d_backward, max_pool2d_forward,
+};
+use crate::ops::reduce::{
+    mean_rows_backward, mean_rows_forward, sum_cols_backward, sum_cols_forward, sum_rows_backward,
+    sum_rows_forward,
 };
 use crate::ops::softmax::{log_softmax_backward, log_softmax_forward, nll_backward, nll_forward};
 use crate::{Shape, Tensor};
@@ -166,7 +166,7 @@ impl Graph {
         op_name: &'static str,
         a: VarId,
         b: VarId,
-        f: impl Fn(f32, f32) -> f32,
+        f: impl Fn(f32, f32) -> f32 + Sync,
         op: Op,
     ) -> Result<VarId> {
         let va = &self.nodes[a.0].value;
@@ -666,7 +666,8 @@ impl Graph {
             }
             Op::Transpose(x) => vec![(x.0, transpose(g)?)],
             Op::Relu(x) => {
-                let gx = g.zip_map(&self.nodes[x.0].value, |gv, xv| if xv > 0.0 { gv } else { 0.0 })?;
+                let gx =
+                    g.zip_map(&self.nodes[x.0].value, |gv, xv| if xv > 0.0 { gv } else { 0.0 })?;
                 vec![(x.0, gx)]
             }
             Op::Conv2d { x, w, b, stride, padding } => {

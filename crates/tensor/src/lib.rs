@@ -38,9 +38,10 @@
 #![warn(missing_docs)]
 
 mod error;
-mod graph;
 pub mod gradcheck;
+mod graph;
 pub mod ops;
+mod par;
 mod shape;
 mod tensor;
 

@@ -1,6 +1,13 @@
 //! 2-D convolution kernels via im2col / col2im.
+//!
+//! The unfold/fold loops and the layout rearrangements parallelize over
+//! disjoint output regions (patch rows for `im2col`, per-sample channel
+//! images for `col2im`) on the `sdc-runtime` pool; every element is
+//! produced by exactly one chunk with the serial accumulation order, so
+//! outputs are bit-identical at any thread count.
 
 use crate::error::{Result, TensorError};
+use crate::par;
 use crate::Tensor;
 
 /// Output spatial size for a convolution along one axis.
@@ -12,52 +19,52 @@ pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, padding: usize) 
 /// `(n * oh * ow, c * kh * kw)` whose rows are receptive-field patches.
 ///
 /// Out-of-bounds (padding) positions contribute zeros.
-pub fn im2col(
-    x: &Tensor,
-    kernel: usize,
-    stride: usize,
-    padding: usize,
-) -> Result<Tensor> {
-    let (n, c, h, w) = x
-        .shape()
-        .as_nchw()
-        .ok_or_else(|| TensorError::RankMismatch { op: "im2col", expected: 4, actual: x.shape().clone() })?;
+pub fn im2col(x: &Tensor, kernel: usize, stride: usize, padding: usize) -> Result<Tensor> {
+    let (n, c, h, w) = x.shape().as_nchw().ok_or_else(|| TensorError::RankMismatch {
+        op: "im2col",
+        expected: 4,
+        actual: x.shape().clone(),
+    })?;
     let oh = conv_out_dim(h, kernel, stride, padding);
     let ow = conv_out_dim(w, kernel, stride, padding);
     let patch = c * kernel * kernel;
-    let mut cols = Tensor::zeros([n * oh * ow, patch]);
+    let rows = n * oh * ow;
+    let mut cols = Tensor::zeros([rows, patch]);
     let xd = x.data();
-    let cd = cols.data_mut();
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * patch;
-                for ci in 0..c {
-                    for ky in 0..kernel {
-                        let iy = (oy * stride + ky) as isize - padding as isize;
-                        if iy < 0 || iy >= h as isize {
+    let fill = |first_row: usize, piece: &mut [f32]| {
+        for (r, prow) in piece.chunks_mut(patch).enumerate() {
+            let row = first_row + r;
+            let ni = row / (oh * ow);
+            let rem = row % (oh * ow);
+            let (oy, ox) = (rem / ow, rem % ow);
+            for ci in 0..c {
+                for ky in 0..kernel {
+                    let iy = (oy * stride + ky) as isize - padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..kernel {
+                        let ix = (ox * stride + kx) as isize - padding as isize;
+                        if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        for kx in 0..kernel {
-                            let ix = (ox * stride + kx) as isize - padding as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            let src = ((ni * c + ci) * h + iy as usize) * w + ix as usize;
-                            let dst = row + (ci * kernel + ky) * kernel + kx;
-                            cd[dst] = xd[src];
-                        }
+                        let src = ((ni * c + ci) * h + iy as usize) * w + ix as usize;
+                        prow[(ci * kernel + ky) * kernel + kx] = xd[src];
                     }
                 }
             }
         }
-    }
+    };
+    par::dispatch_chunks(cols.data_mut(), par::ROW_CHUNK * patch, rows * patch, |ci, piece| {
+        fill(ci * par::ROW_CHUNK, piece);
+    });
     Ok(cols)
 }
 
 /// Folds a column matrix produced by [`im2col`] back into an image batch,
 /// accumulating overlapping contributions. This is the adjoint of `im2col`
 /// and is used to compute input gradients.
+#[allow(clippy::too_many_arguments)] // full conv geometry is inherent to the adjoint
 pub fn col2im(
     cols: &Tensor,
     n: usize,
@@ -81,12 +88,17 @@ pub fn col2im(
     }
     let mut x = Tensor::zeros([n, c, h, w]);
     let cd = cols.data();
-    let xd = x.data_mut();
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * patch;
-                for ci in 0..c {
+    // Overlapping patches collide on input pixels, so the parallel unit
+    // is one (sample, channel) image: all contributions to a pixel come
+    // from its own chunk, accumulated in the serial (oy, ox, ky, kx)
+    // order.
+    let fill = |first_image: usize, piece: &mut [f32]| {
+        for (r, img) in piece.chunks_mut(h * w).enumerate() {
+            let idx = first_image + r;
+            let (ni, ci) = (idx / c, idx % c);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((ni * oh + oy) * ow + ox) * patch;
                     for ky in 0..kernel {
                         let iy = (oy * stride + ky) as isize - padding as isize;
                         if iy < 0 || iy >= h as isize {
@@ -97,15 +109,15 @@ pub fn col2im(
                             if ix < 0 || ix >= w as isize {
                                 continue;
                             }
-                            let dst = ((ni * c + ci) * h + iy as usize) * w + ix as usize;
-                            let src = row + (ci * kernel + ky) * kernel + kx;
-                            xd[dst] += cd[src];
+                            img[iy as usize * w + ix as usize] +=
+                                cd[row + (ci * kernel + ky) * kernel + kx];
                         }
                     }
                 }
             }
         }
-    }
+    };
+    par::dispatch_chunks(x.data_mut(), h * w, n * oh * ow * patch, fill);
     Ok(x)
 }
 
@@ -127,14 +139,13 @@ pub fn conv2d_forward(
     stride: usize,
     padding: usize,
 ) -> Result<Tensor> {
-    let (n, c_in, h, w) = x
-        .shape()
-        .as_nchw()
-        .ok_or_else(|| TensorError::RankMismatch { op: "conv2d", expected: 4, actual: x.shape().clone() })?;
-    let (c_out, wc_in, k, k2) = weight.shape().as_nchw().ok_or_else(|| TensorError::RankMismatch {
+    let (n, c_in, h, w) = x.shape().as_nchw().ok_or_else(|| TensorError::RankMismatch {
         op: "conv2d",
         expected: 4,
-        actual: weight.shape().clone(),
+        actual: x.shape().clone(),
+    })?;
+    let (c_out, wc_in, k, k2) = weight.shape().as_nchw().ok_or_else(|| {
+        TensorError::RankMismatch { op: "conv2d", expected: 4, actual: weight.shape().clone() }
     })?;
     if wc_in != c_in || k != k2 {
         return Err(TensorError::ShapeMismatch {
@@ -144,7 +155,10 @@ pub fn conv2d_forward(
         });
     }
     if stride == 0 {
-        return Err(TensorError::InvalidArgument { op: "conv2d", message: "stride must be nonzero".into() });
+        return Err(TensorError::InvalidArgument {
+            op: "conv2d",
+            message: "stride must be nonzero".into(),
+        });
     }
     let oh = conv_out_dim(h, k, stride, padding);
     let ow = conv_out_dim(w, k, stride, padding);
@@ -155,22 +169,24 @@ pub fn conv2d_forward(
     let wmat = weight.reshape([c_out, patch])?;
     let prod = super::matmul::matmul_nt(&cols, &wmat)?;
 
-    // Rearrange (n*oh*ow, c_out) into (n, c_out, oh, ow), adding bias.
+    // Rearrange (n*oh*ow, c_out) into (n, c_out, oh, ow), adding bias;
+    // the parallel unit is one output channel map.
     let mut out = Tensor::zeros([n, c_out, oh, ow]);
     let pd = prod.data();
-    let od = out.data_mut();
     let bd = bias.map(Tensor::data);
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * c_out;
-                for co in 0..c_out {
-                    let b = bd.map_or(0.0, |b| b[co]);
-                    od[((ni * c_out + co) * oh + oy) * ow + ox] = pd[row + co] + b;
+    let fill = |first_map: usize, piece: &mut [f32]| {
+        for (r, omap) in piece.chunks_mut(oh * ow).enumerate() {
+            let idx = first_map + r;
+            let (ni, co) = (idx / c_out, idx % c_out);
+            let b = bd.map_or(0.0, |b| b[co]);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    omap[oy * ow + ox] = pd[((ni * oh + oy) * ow + ox) * c_out + co] + b;
                 }
             }
         }
-    }
+    };
+    par::dispatch_chunks(out.data_mut(), oh * ow, n * c_out * oh * ow, fill);
     Ok(out)
 }
 
@@ -190,7 +206,8 @@ pub fn conv2d_backward(
     want_bias: bool,
 ) -> Result<(Tensor, Tensor, Option<Tensor>)> {
     let (n, c_in, h, w) = x.shape().as_nchw().expect("conv2d_backward: x validated in forward");
-    let (c_out, _, k, _) = weight.shape().as_nchw().expect("conv2d_backward: w validated in forward");
+    let (c_out, _, k, _) =
+        weight.shape().as_nchw().expect("conv2d_backward: w validated in forward");
     let (gn, gc, oh, ow) = gy.shape().as_nchw().ok_or_else(|| TensorError::RankMismatch {
         op: "conv2d_backward",
         expected: 4,
@@ -205,21 +222,26 @@ pub fn conv2d_backward(
     }
     let patch = c_in * k * k;
 
-    // Rearrange gy (n, c_out, oh, ow) -> (n*oh*ow, c_out).
+    // Rearrange gy (n, c_out, oh, ow) -> (n*oh*ow, c_out); the parallel
+    // unit is one sample's contiguous (oh*ow, c_out) block.
     let mut gmat = Tensor::zeros([n * oh * ow, c_out]);
     {
         let gd = gy.data();
-        let gm = gmat.data_mut();
-        for ni in 0..n {
-            for co in 0..c_out {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        gm[((ni * oh + oy) * ow + ox) * c_out + co] =
-                            gd[((ni * c_out + co) * oh + oy) * ow + ox];
+        let block = oh * ow * c_out;
+        let fill = |first_sample: usize, piece: &mut [f32]| {
+            for (r, sample) in piece.chunks_mut(block).enumerate() {
+                let ni = first_sample + r;
+                for co in 0..c_out {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            sample[(oy * ow + ox) * c_out + co] =
+                                gd[((ni * c_out + co) * oh + oy) * ow + ox];
+                        }
                     }
                 }
             }
-        }
+        };
+        par::dispatch_chunks(gmat.data_mut(), block, n * block, fill);
     }
 
     let cols = im2col(x, k, stride, padding)?;
@@ -236,9 +258,9 @@ pub fn conv2d_backward(
         let gd = gy.data();
         let dbd = db.data_mut();
         for ni in 0..n {
-            for co in 0..c_out {
+            for (co, acc) in dbd.iter_mut().enumerate() {
                 let base = ((ni * c_out + co) * oh) * ow;
-                dbd[co] += gd[base..base + oh * ow].iter().sum::<f32>();
+                *acc += gd[base..base + oh * ow].iter().sum::<f32>();
             }
         }
         Some(db)
@@ -275,10 +297,7 @@ mod tests {
         let x = Tensor::ones([1, 1, 3, 3]);
         let w = Tensor::ones([1, 1, 3, 3]);
         let y = conv2d_forward(&x, &w, None, 1, 1).unwrap();
-        assert_eq!(
-            y.data(),
-            &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]
-        );
+        assert_eq!(y.data(), &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]);
     }
 
     #[test]

@@ -3,9 +3,31 @@
 //! These are the plain-value kernels; differentiable wrappers live on
 //! [`Graph`](crate::Graph). All kernels use an `i-k-j` loop order so the
 //! innermost loop walks both operands contiguously.
+//!
+//! Large multiplications split their output rows into fixed-size chunks
+//! executed on the `sdc-runtime` pool. Each output element's reduction
+//! runs in ascending-`k` order inside exactly one chunk, so parallel
+//! results are bit-identical to serial at every thread count.
+//!
+//! Unlike the original kernels, zero `A` elements are **not** skipped:
+//! the data-dependent branch mispredicts on dense inputs (measured in
+//! `crates/bench/benches/runtime.rs`). This also changes non-finite
+//! semantics: `0 · ∞` now yields `NaN` per IEEE 754 instead of the
+//! skip's silent `0`, i.e. a non-finite operand is no longer masked by
+//! a structural zero on the other side.
 
 use crate::error::{Result, TensorError};
+use crate::par;
 use crate::Tensor;
+
+/// Runs `fill(first_row, rows_slice)` over `out` (an `n × m` row-major
+/// buffer) either serially or in fixed [`par::ROW_CHUNK`]-row chunks on
+/// the worker pool, based on `work`.
+fn dispatch_rows(out: &mut [f32], m: usize, work: usize, fill: impl Fn(usize, &mut [f32]) + Sync) {
+    par::dispatch_chunks(out, par::ROW_CHUNK * m, work, |chunk_index, rows| {
+        fill(chunk_index * par::ROW_CHUNK, rows);
+    });
+}
 
 /// `C = A · B` for `A: (n, k)`, `B: (k, m)`.
 ///
@@ -26,20 +48,21 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let mut out = Tensor::zeros([n, m]);
     let ad = a.data();
     let bd = b.data();
-    let od = out.data_mut();
-    for i in 0..n {
-        for p in 0..k {
-            let aip = ad[i * k + p];
-            if aip == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * m..(p + 1) * m];
-            let orow = &mut od[i * m..(i + 1) * m];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += aip * bv;
+    // No zero-skip on `aip`: the data-dependent branch mispredicts on
+    // dense inputs and costs more than the multiply-adds it saves (see
+    // crates/bench/benches/runtime.rs for the measurement).
+    dispatch_rows(out.data_mut(), m, n * k * m, |first_row, rows| {
+        for (r, orow) in rows.chunks_mut(m).enumerate() {
+            let i = first_row + r;
+            let arow = &ad[i * k..(i + 1) * k];
+            for (p, &aip) in arow.iter().enumerate() {
+                let brow = &bd[p * m..(p + 1) * m];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aip * bv;
+                }
             }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -62,14 +85,16 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let mut out = Tensor::zeros([n, m]);
     let ad = a.data();
     let bd = b.data();
-    let od = out.data_mut();
-    for i in 0..n {
-        let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..m {
-            let brow = &bd[j * k..(j + 1) * k];
-            od[i * m + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+    dispatch_rows(out.data_mut(), m, n * k * m, |first_row, rows| {
+        for (r, orow) in rows.chunks_mut(m).enumerate() {
+            let i = first_row + r;
+            let arow = &ad[i * k..(i + 1) * k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &bd[j * k..(j + 1) * k];
+                *o = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+            }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -80,8 +105,8 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Returns an error if either operand is not rank-2 or the shared
 /// dimension disagrees.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (k, n) = a.shape().as_matrix().ok_or_else(|| rank_err("matmul_tn", a))?;
-    let (kb, m) = b.shape().as_matrix().ok_or_else(|| rank_err("matmul_tn", b))?;
+    let (k, _n) = a.shape().as_matrix().ok_or_else(|| rank_err("matmul_tn", a))?;
+    let (kb, _m) = b.shape().as_matrix().ok_or_else(|| rank_err("matmul_tn", b))?;
     if k != kb {
         return Err(TensorError::ShapeMismatch {
             op: "matmul_tn",
@@ -89,25 +114,12 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().clone(),
         });
     }
-    let mut out = Tensor::zeros([n, m]);
-    let ad = a.data();
-    let bd = b.data();
-    let od = out.data_mut();
-    for p in 0..k {
-        let arow = &ad[p * n..(p + 1) * n];
-        let brow = &bd[p * m..(p + 1) * m];
-        for i in 0..n {
-            let aip = arow[i];
-            if aip == 0.0 {
-                continue;
-            }
-            let orow = &mut od[i * m..(i + 1) * m];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += aip * bv;
-            }
-        }
-    }
-    Ok(out)
+    // Transpose once (O(nk)), then run the plain row-parallel kernel
+    // with contiguous reads. Per output element the accumulation is
+    // still ascending-`p`, so the result is bit-identical to the
+    // direct `p`-outer form — without its strided column gathers.
+    let at = transpose(a)?;
+    matmul(&at, b)
 }
 
 /// Transpose of a rank-2 tensor.
@@ -178,6 +190,19 @@ mod tests {
         let a = t([2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let back = transpose(&transpose(&a).unwrap()).unwrap();
         assert_eq!(a, back);
+    }
+
+    #[test]
+    fn zero_width_operands_produce_empty_outputs() {
+        // m == 0 makes the chunk size zero; dispatch must not panic.
+        let a = t([2, 3], &[1.0; 6]);
+        let b = Tensor::zeros([3, 0]);
+        assert_eq!(matmul(&a, &b).unwrap().shape().dims(), &[2, 0]);
+        let bt = Tensor::zeros([0, 3]);
+        assert_eq!(matmul_nt(&a, &bt).unwrap().shape().dims(), &[2, 0]);
+        let at = Tensor::zeros([3, 2]);
+        let bz = Tensor::zeros([3, 0]);
+        assert_eq!(matmul_tn(&at, &bz).unwrap().shape().dims(), &[2, 0]);
     }
 
     #[test]

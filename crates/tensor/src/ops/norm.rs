@@ -75,17 +75,18 @@ pub fn batch_norm2d_forward(
             let mut mean = vec![0.0f32; c];
             let mut var = vec![0.0f32; c];
             for ni in 0..n {
-                for ci in 0..c {
+                for (ci, acc) in mean.iter_mut().enumerate() {
                     let plane = (ni * c + ci) * h * w;
-                    mean[ci] += xd[plane..plane + h * w].iter().sum::<f32>();
+                    *acc += xd[plane..plane + h * w].iter().sum::<f32>();
                 }
             }
             mean.iter_mut().for_each(|v| *v /= m);
             for ni in 0..n {
-                for ci in 0..c {
+                for (ci, acc) in var.iter_mut().enumerate() {
                     let plane = (ni * c + ci) * h * w;
                     let mu = mean[ci];
-                    var[ci] += xd[plane..plane + h * w].iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>();
+                    *acc +=
+                        xd[plane..plane + h * w].iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>();
                 }
             }
             var.iter_mut().for_each(|v| *v /= m);

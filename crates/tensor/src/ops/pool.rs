@@ -14,10 +14,11 @@ use super::conv::conv_out_dim;
 ///
 /// Returns an error if the input is not rank-4 or the window does not fit.
 pub fn max_pool2d_forward(x: &Tensor, k: usize, s: usize) -> Result<(Tensor, Vec<u32>)> {
-    let (n, c, h, w) = x
-        .shape()
-        .as_nchw()
-        .ok_or_else(|| TensorError::RankMismatch { op: "max_pool2d", expected: 4, actual: x.shape().clone() })?;
+    let (n, c, h, w) = x.shape().as_nchw().ok_or_else(|| TensorError::RankMismatch {
+        op: "max_pool2d",
+        expected: 4,
+        actual: x.shape().clone(),
+    })?;
     if k == 0 || s == 0 || k > h || k > w {
         return Err(TensorError::InvalidArgument {
             op: "max_pool2d",
@@ -75,10 +76,11 @@ pub fn max_pool2d_backward(gy: &Tensor, argmax: &[u32], input_len: usize) -> Ten
 ///
 /// Returns an error if the input is not rank-4 or the window is invalid.
 pub fn avg_pool2d_forward(x: &Tensor, k: usize, s: usize) -> Result<Tensor> {
-    let (n, c, h, w) = x
-        .shape()
-        .as_nchw()
-        .ok_or_else(|| TensorError::RankMismatch { op: "avg_pool2d", expected: 4, actual: x.shape().clone() })?;
+    let (n, c, h, w) = x.shape().as_nchw().ok_or_else(|| TensorError::RankMismatch {
+        op: "avg_pool2d",
+        expected: 4,
+        actual: x.shape().clone(),
+    })?;
     if k == 0 || s == 0 || k > h || k > w {
         return Err(TensorError::InvalidArgument {
             op: "avg_pool2d",
@@ -239,11 +241,8 @@ mod tests {
 
     #[test]
     fn avg_pool_averages_windows() {
-        let x = Tensor::from_vec(
-            [1, 1, 2, 4],
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
-        )
-        .unwrap();
+        let x =
+            Tensor::from_vec([1, 1, 2, 4], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap();
         let y = avg_pool2d_forward(&x, 2, 2).unwrap();
         assert_eq!(y.data(), &[3.5, 5.5]);
     }

@@ -186,16 +186,37 @@ impl Tensor {
     }
 
     /// Applies `f` to every element, returning a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    ///
+    /// Large tensors are processed in fixed-size chunks on the
+    /// `sdc-runtime` pool; per-element results are position-independent,
+    /// so the output is identical at any thread count.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
+        let n = self.data.len();
+        if !crate::par::parallelize(n) {
+            return Self {
+                shape: self.shape.clone(),
+                data: self.data.iter().map(|&x| f(x)).collect(),
+            };
+        }
+        let mut data = vec![0.0f32; n];
+        let src = &self.data;
+        sdc_runtime::par_chunks_mut(&mut data, crate::par::ELEM_CHUNK, |ci, piece| {
+            let base = ci * crate::par::ELEM_CHUNK;
+            for (j, o) in piece.iter_mut().enumerate() {
+                *o = f(src[base + j]);
+            }
+        });
+        Self { shape: self.shape.clone(), data }
     }
 
     /// Elementwise combination of two same-shaped tensors.
     ///
+    /// Parallelized like [`Tensor::map`] above the size threshold.
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Self> {
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Result<Self> {
         if self.shape != other.shape {
             return Err(TensorError::ShapeMismatch {
                 op: "zip_map",
@@ -203,7 +224,19 @@ impl Tensor {
                 rhs: other.shape.clone(),
             });
         }
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        let n = self.data.len();
+        if !crate::par::parallelize(n) {
+            let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+            return Ok(Self { shape: self.shape.clone(), data });
+        }
+        let mut data = vec![0.0f32; n];
+        let (lhs, rhs) = (&self.data, &other.data);
+        sdc_runtime::par_chunks_mut(&mut data, crate::par::ELEM_CHUNK, |ci, piece| {
+            let base = ci * crate::par::ELEM_CHUNK;
+            for (j, o) in piece.iter_mut().enumerate() {
+                *o = f(lhs[base + j], rhs[base + j]);
+            }
+        });
         Ok(Self { shape: self.shape.clone(), data })
     }
 
@@ -307,8 +340,7 @@ impl Default for Tensor {
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{} ", self.shape)?;
-        let preview: Vec<String> =
-            self.data.iter().take(8).map(|x| format!("{x:.4}")).collect();
+        let preview: Vec<String> = self.data.iter().take(8).map(|x| format!("{x:.4}")).collect();
         write!(f, "[{}{}]", preview.join(", "), if self.len() > 8 { ", ..." } else { "" })
     }
 }

@@ -1,0 +1,270 @@
+//! Offline in-tree stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros — over a simple
+//! mean-of-samples timer. No statistical analysis or HTML reports;
+//! each benchmark prints `name: <ns> ns/iter` and the measurements are
+//! retrievable via [`Criterion::results`] so benches can emit
+//! machine-readable output.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function` or bare function name).
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// Measurement settings plus collected results.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size, self.warm_up_time, self.measurement_time);
+        f(&mut b);
+        self.record(id.to_string(), &b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    /// All measurements collected so far, in run order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn record(&mut self, id: String, b: &Bencher) {
+        let ns = b.ns_per_iter.unwrap_or(f64::NAN);
+        println!("{id}: {ns:.0} ns/iter");
+        self.results.push(BenchResult { id, ns_per_iter: ns });
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(
+            self.criterion.sample_size,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+        );
+        f(&mut b);
+        self.criterion.record(format!("{}/{}", self.name, id.0), &b);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(
+            self.criterion.sample_size,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+        );
+        f(&mut b, input);
+        self.criterion.record(format!("{}/{}", self.name, id.0), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{function_name}/{parameter}"))
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Times closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, warm_up_time: Duration, measurement_time: Duration) -> Self {
+        Self { sample_size, warm_up_time, measurement_time, ns_per_iter: None }
+    }
+
+    /// Measures `f`: warms up, then times `sample_size` samples whose
+    /// per-sample iteration count is chosen to fill the measurement
+    /// window, and records the mean nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, also estimating the cost of one iteration.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        let per_sample_budget = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((per_sample_budget / est_ns).round() as u64).max(1);
+
+        let mut total_ns = 0u128;
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            total_ns += start.elapsed().as_nanos();
+            total_iters += iters;
+        }
+        self.ns_per_iter = Some(total_ns as f64 / total_iters as f64);
+    }
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Defines a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let r = c.results();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id, "noop");
+        assert!(r[0].ns_per_iter.is_finite() && r[0].ns_per_iter >= 0.0);
+    }
+
+    #[test]
+    fn group_ids_are_prefixed() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| b.iter(|| n * 2));
+        g.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| 3));
+        g.finish();
+        let ids: Vec<&str> = c.results().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["grp/8", "grp/f/1"]);
+    }
+}

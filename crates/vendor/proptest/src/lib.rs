@@ -1,0 +1,457 @@
+//! Offline in-tree stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! range and tuple strategies, [`collection::vec`], [`any`], the
+//! [`proptest!`] macro, and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted for an offline
+//! build: no shrinking (a failing case reports its seed and values via
+//! the assertion message instead), and cases are drawn from a fixed
+//! per-test seed so failures reproduce exactly.
+
+#![warn(missing_docs)]
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng, UniformInt};
+
+/// Test-run configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Builds the deterministic RNG for a named property test.
+pub fn test_rng(name: &str) -> StdRng {
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    StdRng::seed_from_u64(h.finish())
+}
+
+/// A recipe for generating random values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// from it (dependent generation).
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: UniformInt + Copy> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.start..self.end)
+    }
+}
+
+/// Integer types usable with inclusive-range strategies.
+pub trait StepUp: Copy {
+    /// The successor value, saturating at the type maximum.
+    fn step_up(self) -> Self;
+}
+
+macro_rules! impl_step_up {
+    ($($t:ty),*) => {$(
+        impl StepUp for $t {
+            fn step_up(self) -> Self {
+                self.saturating_add(1)
+            }
+        }
+    )*};
+}
+
+impl_step_up!(usize, u64, u32, u16, u8, i64, i32);
+
+impl<T: UniformInt + StepUp + Copy> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(*self.start()..self.end().step_up())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        // The half-open draw over [lo, hi) is indistinguishable from the
+        // closed range for property-test purposes.
+        let (lo, hi) = (*self.start(), *self.end());
+        if lo == hi {
+            lo
+        } else {
+            rng.random_range(lo..hi)
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut StdRng) -> f32 {
+        let (lo, hi) = (*self.start(), *self.end());
+        if lo == hi {
+            lo
+        } else {
+            rng.random_range(lo..hi)
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),*) => {
+        impl<$($s: Strategy),*> Strategy for ($($s,)*) {
+            type Value = ($($s::Value,)*);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+
+/// Types with a canonical "anything" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Bounded rather than bit-pattern-arbitrary: the numeric kernels
+        // under test expect finite inputs.
+        rng.random_range(-1.0e3f32..1.0e3)
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Default)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{RngExt, StdRng, Strategy};
+
+    /// A vector-length specification: a fixed size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            Self { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self { lo: *r.start(), hi: r.end() + 1 }
+        }
+    }
+
+    /// Strategy for vectors of `element` draws.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.len.lo + 1 == self.len.hi {
+                self.len.lo
+            } else {
+                rng.random_range(self.len.lo..self.len.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of values drawn from `element`, with a fixed or ranged
+    /// length.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, len: len.into() }
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests.
+///
+/// Each `#[test] fn name(arg in strategy, ...) { body }` item expands to
+/// a normal test that draws `config.cases` random argument tuples from a
+/// deterministic per-test RNG and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_rng(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    let __result: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = __result {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            stringify!($name), __case + 1, __config.cases, msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if l != r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {}\n  left: {l:?}\n right: {r:?}",
+                stringify!($lhs), stringify!($rhs),
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if l != r {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if l == r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {}\n  both: {l:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, f in -1.0f32..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_has_requested_len(v in collection::vec(0u32..5, 7)) {
+            prop_assert_eq!(v.len(), 7);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn tuples_and_flat_map_compose(
+            v in (1usize..=3, 2usize..=4).prop_flat_map(|(a, b)| {
+                collection::vec(0.0f32..1.0, a * b).prop_map(move |d| (a, b, d))
+            }),
+        ) {
+            let (a, b, d) = v;
+            prop_assert_eq!(d.len(), a * b);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn per_test_rng_is_deterministic() {
+        use crate::Strategy;
+        let s = 0u64..1000;
+        let a: Vec<u64> = {
+            let mut rng = crate::test_rng("t");
+            (0..8).map(|_| s.generate(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = crate::test_rng("t");
+            (0..8).map(|_| s.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

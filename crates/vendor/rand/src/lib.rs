@@ -1,0 +1,290 @@
+//! Offline, in-tree stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace
+//! vendors the small slice of the `rand` 0.9 API the codebase uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], the core [`Rng`]
+//! source trait, and the [`RngExt`] extension trait providing
+//! `random`, `random_bool`, and `random_range`.
+//!
+//! `StdRng` is xoshiro256++ seeded through SplitMix64 — fully
+//! deterministic per seed on every platform, which is all the stack
+//! requires (reproducibility, not cryptographic strength).
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A source of random 32/64-bit words.
+pub trait Rng {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types an RNG can produce uniformly over their natural domain.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f32 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 24 mantissa bits -> uniform in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Types usable as `random_range` bounds.
+pub trait UniformInt: Copy {
+    /// Draws uniformly from `[lo, hi)`. `hi > lo` is the caller's
+    /// responsibility (checked by `random_range`).
+    fn draw_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Draws uniformly from the closed interval `[lo, hi]`.
+    fn draw_range_incl<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Whether `lo < hi`.
+    fn valid(lo: Self, hi: Self) -> bool;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn draw_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as u128).wrapping_sub(lo as u128);
+                debug_assert!(span > 0);
+                // Multiply-shift rejection-free mapping (Lemire); the
+                // tiny modulo bias over a 64-bit draw is irrelevant for
+                // the span sizes this stack uses.
+                let draw = rng.next_u64() as u128;
+                lo.wrapping_add((draw * span >> 64) as $t)
+            }
+            fn draw_range_incl<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as u128).wrapping_sub(lo as u128) + 1;
+                let draw = rng.next_u64() as u128;
+                lo.wrapping_add((draw * span >> 64) as $t)
+            }
+            fn valid(lo: Self, hi: Self) -> bool {
+                lo < hi
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, u32, u16, u8, i64, i32);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn draw_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                lo + (hi - lo) * <$t>::draw(rng)
+            }
+            fn draw_range_incl<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                // The half-open draw is statistically indistinguishable
+                // from the closed interval for floats.
+                lo + (hi - lo) * <$t>::draw(rng)
+            }
+            fn valid(lo: Self, hi: Self) -> bool {
+                lo < hi
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+/// Range shapes accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws uniformly from the range.
+    fn draw_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn draw_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(T::valid(self.start, self.end), "random_range over an empty range");
+        T::draw_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn draw_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        if !T::valid(lo, hi) {
+            // Allow the degenerate single-point interval `x..=x`.
+            return lo;
+        }
+        T::draw_range_incl(rng, lo, hi)
+    }
+}
+
+/// Convenience sampling methods over any [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a value uniformly over `T`'s natural domain
+    /// (`[0, 1)` for floats).
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0, 1]");
+        f64::draw(self) < p
+    }
+
+    /// Draws uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a half-open range is empty.
+    fn random_range<T: UniformInt, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.draw_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the RNG from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named RNG implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic RNG: xoshiro256++ with
+    /// SplitMix64 seed expansion.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let va: Vec<f32> = (0..16).map(|_| a.random()).collect();
+        let vb: Vec<f32> = (0..16).map(|_| b.random()).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(8);
+        let vc: Vec<f32> = (0..16).map(|_| c.random()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: f32 = r.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = r.random_range(0usize..7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(4);
+        let _ = r.random_range(3usize..3);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline in-tree stand-in for `serde`.
+//!
+//! The build environment has no network access. The codebase derives
+//! `Serialize`/`Deserialize` for source compatibility with real serde,
+//! but nothing consumes the trait machinery (persistence is explicit),
+//! so the traits here are blanket-implemented markers and the derives
+//! (re-exported from the sibling `serde_derive` shim) expand to nothing.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

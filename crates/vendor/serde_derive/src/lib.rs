@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derives for the in-tree `serde`
+//! stand-in.
+//!
+//! The workspace builds offline; types carry these derives so the code
+//! stays source-compatible with real serde, but nothing in-tree invokes
+//! serialization through the trait machinery (persistence uses explicit
+//! binary/JSON writers). The derives therefore expand to nothing, and
+//! the traits in the `serde` shim are blanket-implemented.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -6,7 +6,9 @@
 //! Run: `cargo run -p sdc --release --example buffer_size_sweep`
 
 use sdc::core::model::ModelConfig;
-use sdc::core::{ContrastScoringPolicy, RandomReplacePolicy, ReplacementPolicy, StreamTrainer, TrainerConfig};
+use sdc::core::{
+    ContrastScoringPolicy, RandomReplacePolicy, ReplacementPolicy, StreamTrainer, TrainerConfig,
+};
 use sdc::data::stream::TemporalStream;
 use sdc::data::synth::{DatasetPreset, SynthDataset};
 use sdc::eval::{linear_probe, ProbeConfig};
@@ -60,11 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for buffer in [4usize, 8, 16, 32] {
         let contrast = train_and_probe(buffer, Box::new(ContrastScoringPolicy::new()))?;
         let random = train_and_probe(buffer, Box::new(RandomReplacePolicy::new(9)))?;
-        println!(
-            "{buffer:<12} {:>17.1}% {:>15.1}%",
-            contrast * 100.0,
-            random * 100.0
-        );
+        println!("{buffer:<12} {:>17.1}% {:>15.1}%", contrast * 100.0, random * 100.0);
     }
     println!("\nexpect higher accuracy with larger buffers, and a persistent margin\nfor contrast scoring (paper Table II).");
     Ok(())

@@ -12,7 +12,10 @@ use sdc::nn::models::EncoderConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("lazy scoring interval sweep (buffer 16, 60 iterations)");
-    println!("{:<10} {:>14} {:>18} {:>12}", "interval", "re-scoring %", "relative batch t", "final loss");
+    println!(
+        "{:<10} {:>14} {:>18} {:>12}",
+        "interval", "re-scoring %", "relative batch t", "final loss"
+    );
     for interval in [None, Some(4u32), Some(20), Some(50)] {
         let schedule = interval.map_or(LazySchedule::disabled(), LazySchedule::every);
         let config = TrainerConfig {
@@ -26,10 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 5,
             ..TrainerConfig::default()
         };
-        let mut trainer = StreamTrainer::new(
-            config,
-            Box::new(ContrastScoringPolicy::with_schedule(schedule)),
-        );
+        let mut trainer =
+            StreamTrainer::new(config, Box::new(ContrastScoringPolicy::with_schedule(schedule)));
         let dataset = SynthDataset::new(DatasetPreset::Cifar10Like.config(5));
         let mut stream = TemporalStream::new(dataset, 32, 5);
         let mut last_loss = 0.0;

@@ -10,7 +10,9 @@
 //! Run: `cargo run -p sdc --release --example wildlife_monitoring`
 
 use sdc::core::model::ModelConfig;
-use sdc::core::{ContrastScoringPolicy, FifoReplacePolicy, ReplacementPolicy, StreamTrainer, TrainerConfig};
+use sdc::core::{
+    ContrastScoringPolicy, FifoReplacePolicy, ReplacementPolicy, StreamTrainer, TrainerConfig,
+};
 use sdc::data::stream::TemporalStream;
 use sdc::data::synth::{SynthConfig, SynthDataset};
 use sdc::nn::models::EncoderConfig;
@@ -56,7 +58,10 @@ fn run(policy: Box<dyn ReplacementPolicy>, label: &str) -> Result<(), Box<dyn st
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("wildlife monitoring: 8 species, camera dwell time 48 frames, buffer 16");
-    run(Box::new(FifoReplacePolicy::new()), "FIFO Replace (buffer = whatever is in front of the camera)")?;
+    run(
+        Box::new(FifoReplacePolicy::new()),
+        "FIFO Replace (buffer = whatever is in front of the camera)",
+    )?;
     run(
         Box::new(ContrastScoringPolicy::new()),
         "Contrast Scoring (buffer = what the encoder has not yet learned)",

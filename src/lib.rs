@@ -1,0 +1,7 @@
+//! Workspace root package: hosts the cross-crate integration tests in
+//! `tests/` and the runnable walkthroughs in `examples/`. The library
+//! itself just re-exports the [`sdc`] umbrella crate.
+
+#![warn(missing_docs)]
+
+pub use sdc;

@@ -101,10 +101,8 @@ fn ema_tracker_follows_pipeline_training() {
     let live = &outcome.model.store.params()[0].value;
     let shadow = &ema.shadow().params()[0].value;
     let init = &model.store.params()[0].value;
-    let d_init: f32 =
-        shadow.data().iter().zip(init.data()).map(|(a, b)| (a - b).abs()).sum();
-    let d_live: f32 =
-        shadow.data().iter().zip(live.data()).map(|(a, b)| (a - b).abs()).sum();
+    let d_init: f32 = shadow.data().iter().zip(init.data()).map(|(a, b)| (a - b).abs()).sum();
+    let d_live: f32 = shadow.data().iter().zip(live.data()).map(|(a, b)| (a - b).abs()).sum();
     assert!(d_init > 0.0, "shadow should have moved from init");
     assert!(d_live > 0.0, "shadow should lag the live weights");
 }
