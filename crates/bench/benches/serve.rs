@@ -1,0 +1,105 @@
+//! Benchmarks for the `sdc-serve` batched scoring service: one round
+//! of blocking scoring requests from N concurrent streams through one
+//! coalescing [`ScoringService`], for N in {1, 2, 4, 8}, plus the
+//! uncoalesced per-stream baseline (each request scored as its own
+//! batch).
+//!
+//! Besides the usual console output, results are written to
+//! `BENCH_serve.json` at the workspace root — including derived
+//! requests/sec and the host parallelism, so numbers from 1-core CI
+//! containers are not mistaken for scaling regressions.
+
+use criterion::{BenchmarkId, Criterion};
+use sdc_bench::{bench_model, bench_samples};
+use sdc_core::score::contrast_scores_shared;
+use sdc_data::{Sample, StreamId};
+use sdc_serve::{ScoringService, ServeConfig};
+use std::hint::black_box;
+use std::io::Write;
+
+const STREAM_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SEGMENT: usize = 8;
+
+/// One full round: every stream submits one `SEGMENT`-sample request
+/// and blocks for its reply; the service coalesces them into one batch.
+fn serve_round(service: &ScoringService, requests: &[(StreamId, Vec<Sample>)]) {
+    let clients: Vec<_> = requests.iter().map(|(id, _)| service.client(*id)).collect();
+    std::thread::scope(|scope| {
+        for (client, (_, samples)) in clients.iter().zip(requests) {
+            scope.spawn(move || {
+                black_box(client.score(samples.clone()).expect("scoring"));
+            });
+        }
+    });
+}
+
+fn bench_serve_round_by_streams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_round");
+    for &streams in &STREAM_COUNTS {
+        let service = ScoringService::start(bench_model(), ServeConfig::default());
+        let requests: Vec<(StreamId, Vec<Sample>)> =
+            (0..streams).map(|id| (id as StreamId, bench_samples(SEGMENT, id as u64))).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(streams), &requests, |b, reqs| {
+            b.iter(|| serve_round(&service, reqs))
+        });
+    }
+    group.finish();
+}
+
+/// The path the serve layer replaces: each stream's request scored as
+/// its own small batch, serially.
+fn bench_uncoalesced_baseline(c: &mut Criterion) {
+    let model = bench_model();
+    let mut group = c.benchmark_group("serve_uncoalesced");
+    for &streams in &STREAM_COUNTS {
+        let requests: Vec<Vec<Sample>> =
+            (0..streams).map(|id| bench_samples(SEGMENT, id as u64)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(streams), &requests, |b, reqs| {
+            b.iter(|| {
+                for samples in reqs {
+                    black_box(contrast_scores_shared(&model, black_box(samples)).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Writes `BENCH_serve.json` at the workspace root: per-benchmark
+/// ns/iter plus derived requests/sec (stream count ÷ round time) and
+/// environment metadata.
+fn write_json(c: &Criterion) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    let results = c.results();
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let streams: f64 = r.id.rsplit('/').next().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+        let requests_per_sec = streams * 1e9 / r.ns_per_iter;
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"requests_per_sec\": {:.1}}}{comma}\n",
+            r.id, r.ns_per_iter, requests_per_sec
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"segment_samples\": {SEGMENT},\n  \"host_parallelism\": {}\n}}\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ));
+    match std::fs::File::create(path) {
+        Ok(mut f) => {
+            let _ = f.write_all(out.as_bytes());
+            println!("wrote {path}");
+        }
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    bench_serve_round_by_streams(&mut criterion);
+    bench_uncoalesced_baseline(&mut criterion);
+    write_json(&criterion);
+}

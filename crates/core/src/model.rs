@@ -40,7 +40,11 @@ pub struct ModelParts<'a> {
 
 /// Encoder `f(·)` plus projection head `g(·)` sharing a [`ParamStore`] —
 /// the model Stage 1 trains on the unlabeled stream.
-#[derive(Debug)]
+///
+/// Cloning copies the parameter store, giving serving layers a cheap
+/// way to publish a post-update snapshot to a scoring service while the
+/// trainer keeps mutating its own copy.
+#[derive(Debug, Clone)]
 pub struct ContrastiveModel {
     /// Parameters and running statistics of both sub-models.
     pub store: ParamStore,

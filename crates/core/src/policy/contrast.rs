@@ -2,7 +2,7 @@
 //! scoring (paper §III-B and §III-D).
 
 use sdc_data::Sample;
-use sdc_tensor::Result;
+use sdc_tensor::{Result, TensorError};
 
 use super::{ReplacementOutcome, ReplacementPolicy};
 use crate::buffer::{BufferEntry, ReplayBuffer};
@@ -63,18 +63,29 @@ impl ContrastScoringPolicy {
     pub fn score_momentum(&self) -> Option<f32> {
         self.momentum
     }
-}
 
-impl ReplacementPolicy for ContrastScoringPolicy {
-    fn name(&self) -> &'static str {
-        "Contrast Scoring"
-    }
-
-    fn replace(
+    /// [`ReplacementPolicy::replace`] with scoring delegated to `score`
+    /// — the hook external serving layers use to route the combined
+    /// `stale buffer ∪ incoming` scoring batch through a shared scoring
+    /// service (`sdc-serve`) instead of a locally owned model.
+    ///
+    /// `score` receives ownership of the samples to score (stale
+    /// buffer entries first, then all incoming, preserving order) —
+    /// so a remote scorer ships them without an extra copy — and must
+    /// return one score per sample. When `score` computes
+    /// [`contrast_scores`](crate::score::contrast_scores) against the
+    /// same model state, the resulting buffer is **bit-identical** to
+    /// the direct [`ReplacementPolicy::replace`] path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scoring errors, and rejects score vectors whose length
+    /// does not match the request.
+    pub fn replace_with(
         &mut self,
-        model: &mut ContrastiveModel,
         buffer: &mut ReplayBuffer,
         incoming: Vec<Sample>,
+        mut score: impl FnMut(Vec<Sample>) -> Result<Vec<f32>>,
     ) -> Result<ReplacementOutcome> {
         let buffer_len_before = buffer.len();
         buffer.tick_ages();
@@ -88,12 +99,21 @@ impl ReplacementPolicy for ContrastScoringPolicy {
             .map(|(i, _)| i)
             .collect();
 
-        // One batched forward scores stale buffer entries + all incoming.
+        // One batched request scores stale buffer entries + all incoming.
         let mut to_score: Vec<Sample> =
             rescore_idx.iter().map(|&i| buffer.entries()[i].sample.clone()).collect();
         to_score.extend(incoming.iter().cloned());
-        let scores =
-            if to_score.is_empty() { Vec::new() } else { contrast_scores(model, &to_score)? };
+        let to_score_len = to_score.len();
+        let scores = if to_score.is_empty() { Vec::new() } else { score(to_score)? };
+        if scores.len() != to_score_len {
+            return Err(TensorError::InvalidArgument {
+                op: "replace_with",
+                message: format!(
+                    "scorer returned {} scores for {to_score_len} samples",
+                    scores.len(),
+                ),
+            });
+        }
         let (buffer_scores, incoming_scores) = scores.split_at(rescore_idx.len());
         for (&i, &s) in rescore_idx.iter().zip(buffer_scores) {
             let entry = &mut buffer.entries_mut()[i];
@@ -128,8 +148,23 @@ impl ReplacementPolicy for ContrastScoringPolicy {
             rescored_buffer: rescore_idx.len(),
             buffer_len_before,
             retained_from_buffer,
-            scoring_forward_samples: 2 * to_score.len(),
+            scoring_forward_samples: 2 * to_score_len,
         })
+    }
+}
+
+impl ReplacementPolicy for ContrastScoringPolicy {
+    fn name(&self) -> &'static str {
+        "Contrast Scoring"
+    }
+
+    fn replace(
+        &mut self,
+        model: &mut ContrastiveModel,
+        buffer: &mut ReplayBuffer,
+        incoming: Vec<Sample>,
+    ) -> Result<ReplacementOutcome> {
+        self.replace_with(buffer, incoming, |samples| contrast_scores(model, &samples))
     }
 }
 
@@ -214,6 +249,39 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn invalid_momentum_alpha_panics() {
         ContrastScoringPolicy::with_score_momentum(0.0);
+    }
+
+    #[test]
+    fn external_scorer_matches_direct_replace_bit_for_bit() {
+        use crate::score::contrast_scores_shared;
+        let mut model = tiny_model();
+        let mut direct = ContrastScoringPolicy::with_schedule(LazySchedule::every(2));
+        let mut external = ContrastScoringPolicy::with_schedule(LazySchedule::every(2));
+        let mut buf_direct = ReplayBuffer::new(4);
+        let mut buf_external = ReplayBuffer::new(4);
+        for step in 0u64..4 {
+            let batch = make_samples(4, 0, step * 10, 30 + step);
+            let out_d = direct.replace(&mut model, &mut buf_direct, batch.clone()).unwrap();
+            let out_e = external
+                .replace_with(&mut buf_external, batch, |s| contrast_scores_shared(&model, &s))
+                .unwrap();
+            assert_eq!(out_d, out_e, "outcomes diverged at step {step}");
+            for (d, e) in buf_direct.entries().iter().zip(buf_external.entries()) {
+                assert_eq!(d.sample.id, e.sample.id);
+                assert_eq!(d.score.to_bits(), e.score.to_bits());
+                assert_eq!(d.age, e.age);
+            }
+        }
+    }
+
+    #[test]
+    fn scorer_length_mismatch_is_rejected() {
+        let mut policy = ContrastScoringPolicy::new();
+        let mut buffer = ReplayBuffer::new(4);
+        let err = policy
+            .replace_with(&mut buffer, make_samples(3, 0, 0, 40), |_| Ok(vec![0.5]))
+            .unwrap_err();
+        assert!(format!("{err}").contains("scorer returned"), "{err}");
     }
 
     #[test]

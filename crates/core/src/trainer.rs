@@ -178,6 +178,30 @@ impl StreamTrainer {
 
         let t_update = Instant::now();
         let samples = self.buffer.samples();
+        let loss = self.update_on(&samples)?;
+        let update_nanos = t_update.elapsed().as_nanos() as u64;
+
+        self.stats.record(&outcome, replace_nanos, update_nanos);
+        Ok(StepReport { loss, outcome, replace_nanos, update_nanos })
+    }
+
+    /// One optimizer update on an explicit mini-batch, bypassing the
+    /// trainer's own buffer and policy — the hook serving layers use to
+    /// train one shared model against **externally maintained** buffer
+    /// shards (`sdc-serve`'s `ShardedBuffer`-style drivers replace
+    /// into per-stream buffers, then feed each refreshed shard through
+    /// here).
+    ///
+    /// Augmentation randomness and the iteration counter advance exactly
+    /// as in the update phase of [`StreamTrainer::step`], so a
+    /// single-stream serving driver reproduces the direct path
+    /// bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an empty batch, and propagates model and
+    /// shape errors.
+    pub fn update_on(&mut self, samples: &[Sample]) -> Result<f32> {
         // Two independently strongly augmented views of the mini-batch.
         let view1: Vec<Tensor> =
             samples.iter().map(|s| self.augmentation.apply(&s.image, &mut self.rng)).collect();
@@ -205,11 +229,9 @@ impl StreamTrainer {
         self.model.store.zero_grads();
         bindings.accumulate_grads(&graph, &mut self.model.store);
         self.optimizer.step(&mut self.model.store);
-        let update_nanos = t_update.elapsed().as_nanos() as u64;
 
         self.iteration += 1;
-        self.stats.record(&outcome, replace_nanos, update_nanos);
-        Ok(StepReport { loss: graph.value(loss_id).item(), outcome, replace_nanos, update_nanos })
+        Ok(graph.value(loss_id).item())
     }
 
     /// Convenience driver: consumes `iterations` segments of
@@ -300,6 +322,17 @@ mod tests {
             trainer.run(&mut stream, 3, |_, r| assert!(r.loss.is_finite())).unwrap();
             assert_eq!(trainer.buffer().len(), 6);
         }
+    }
+
+    #[test]
+    fn update_on_drives_externally_maintained_batches() {
+        let mut trainer = StreamTrainer::new(tiny_config(), Box::new(ContrastScoringPolicy::new()));
+        let batch = tiny_stream(9).next_segment(6).unwrap();
+        let loss = trainer.update_on(&batch).unwrap();
+        assert!(loss.is_finite());
+        assert_eq!(trainer.iteration(), 1, "external updates count as iterations");
+        assert_eq!(trainer.seen(), 0, "only `step` consumes stream samples");
+        assert!(trainer.update_on(&[]).is_err(), "empty batches are rejected");
     }
 
     #[test]

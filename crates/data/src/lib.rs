@@ -29,6 +29,6 @@ pub mod stream;
 pub mod stream_ext;
 pub mod synth;
 
-pub use prefetch::{PrefetchStream, SegmentSource};
+pub use prefetch::{PrefetchStream, SegmentSource, StreamId, WithStreamId};
 pub use sample::{stack_image_tensors, stack_images, Sample};
 pub use stream_ext::{DriftModel, ExtendedStream, RunLengthModel, StreamStats};

@@ -20,6 +20,12 @@ use crate::sample::Sample;
 use crate::stream::TemporalStream;
 use crate::stream_ext::ExtendedStream;
 
+/// Identifier of one logical stream within a multi-stream deployment.
+///
+/// The serve layer (`sdc-serve`) keys buffer shards and scoring-request
+/// routing on this id; standalone streams default to `0`.
+pub type StreamId = u64;
+
 /// Anything that yields stream segments — the interface the trainer
 /// consumes, implemented by the concrete streams and by
 /// [`PrefetchStream`] itself (so prefetching is a drop-in wrapper).
@@ -30,6 +36,45 @@ pub trait SegmentSource {
     ///
     /// Propagates generator errors.
     fn next_segment(&mut self, n: usize) -> Result<Vec<Sample>>;
+
+    /// Stable identifier of this stream within a multi-stream
+    /// deployment. Standalone streams report `0`; wrap a stream in
+    /// [`WithStreamId`] to assign a distinct id.
+    fn stream_id(&self) -> StreamId {
+        0
+    }
+}
+
+/// A [`SegmentSource`] adapter tagging a wrapped stream with a
+/// [`StreamId`], so serving layers can route its scoring requests and
+/// shard its buffer without the concrete stream types knowing about
+/// multi-stream deployments.
+#[derive(Debug)]
+pub struct WithStreamId<S> {
+    inner: S,
+    id: StreamId,
+}
+
+impl<S: SegmentSource> WithStreamId<S> {
+    /// Tags `inner` with `id`.
+    pub fn new(inner: S, id: StreamId) -> Self {
+        Self { inner, id }
+    }
+
+    /// The wrapped stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: SegmentSource> SegmentSource for WithStreamId<S> {
+    fn next_segment(&mut self, n: usize) -> Result<Vec<Sample>> {
+        self.inner.next_segment(n)
+    }
+
+    fn stream_id(&self) -> StreamId {
+        self.id
+    }
 }
 
 impl SegmentSource for TemporalStream {
@@ -66,6 +111,7 @@ pub struct PrefetchStream {
     producer: Option<JoinHandle<()>>,
     pending: VecDeque<Sample>,
     failed: bool,
+    stream_id: StreamId,
 }
 
 impl PrefetchStream {
@@ -93,6 +139,7 @@ impl PrefetchStream {
         F: FnMut(Vec<Sample>) -> Vec<Sample> + Send + 'static,
     {
         let segment_len = segment_len.max(1);
+        let stream_id = stream.stream_id();
         let (tx, rx) = bounded::<Result<Vec<Sample>>>(depth.max(1));
         let producer = std::thread::Builder::new()
             .name("sdc-prefetch".into())
@@ -106,7 +153,13 @@ impl PrefetchStream {
                 }
             })
             .expect("spawn prefetch producer");
-        Self { rx: Some(rx), producer: Some(producer), pending: VecDeque::new(), failed: false }
+        Self {
+            rx: Some(rx),
+            producer: Some(producer),
+            pending: VecDeque::new(),
+            failed: false,
+            stream_id,
+        }
     }
 
     fn refill(&mut self) -> Result<()> {
@@ -146,6 +199,11 @@ impl SegmentSource for PrefetchStream {
             self.refill()?;
         }
         Ok(self.pending.drain(..n).collect())
+    }
+
+    /// The wrapped stream's id, captured at construction.
+    fn stream_id(&self) -> StreamId {
+        self.stream_id
     }
 }
 
@@ -205,6 +263,16 @@ mod tests {
         });
         let seg = pf.next_segment(8).unwrap();
         assert!(seg.iter().all(|s| s.label == 99));
+    }
+
+    #[test]
+    fn stream_ids_propagate_through_wrappers() {
+        assert_eq!(stream(2, 1).stream_id(), 0, "standalone streams default to id 0");
+        let mut tagged = WithStreamId::new(stream(2, 1), 7);
+        assert_eq!(tagged.stream_id(), 7);
+        assert_eq!(tagged.next_segment(3).unwrap().len(), 3);
+        let pf = PrefetchStream::new(WithStreamId::new(stream(2, 1), 9), 4, 1);
+        assert_eq!(pf.stream_id(), 9, "prefetching must preserve the wrapped id");
     }
 
     #[test]

@@ -6,11 +6,19 @@
 //! consumes), plus explicit disconnect reporting.
 
 use std::sync::mpsc;
+use std::time::Duration;
 
-/// Sending half of a bounded channel.
+/// Sending half of a bounded channel. Cloning creates another producer
+/// feeding the same queue (e.g. many serving clients, one batcher).
 #[derive(Debug)]
 pub struct Sender<T> {
     inner: mpsc::SyncSender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self { inner: self.inner.clone() }
+    }
 }
 
 /// Receiving half of a bounded channel.
@@ -30,6 +38,26 @@ impl std::fmt::Display for Disconnected {
 }
 
 impl std::error::Error for Disconnected {}
+
+/// Why a [`Receiver::recv_timeout`] returned without a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No value arrived within the timeout; senders may still exist.
+    Timeout,
+    /// Every sender is gone and the channel is drained.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "channel recv timed out"),
+            RecvTimeoutError::Disconnected => write!(f, "channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
 
 /// Creates a bounded channel with space for `capacity` in-flight items.
 ///
@@ -61,6 +89,38 @@ impl<T> Receiver<T> {
     pub fn recv(&self) -> Result<T, Disconnected> {
         self.inner.recv().map_err(|_| Disconnected)
     }
+
+    /// Receives the next value if one is already queued, without
+    /// blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Disconnected`] whether the channel is merely empty or
+    /// the sender is gone; callers that must distinguish the two should
+    /// use [`Receiver::recv_timeout`]. (The stack's only non-blocking
+    /// consumer — the serve-layer batcher — drains opportunistically and
+    /// treats both the same.)
+    pub fn try_recv(&self) -> Result<T, Disconnected> {
+        self.inner.try_recv().map_err(|_| Disconnected)
+    }
+
+    /// Receives the next value, blocking for at most `timeout`.
+    ///
+    /// This is what gives the serve layer its flush deadline: the
+    /// batcher waits on the request queue only until the oldest pending
+    /// request's deadline, then flushes a partial batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvTimeoutError::Timeout`] if nothing arrived in time,
+    /// or [`RecvTimeoutError::Disconnected`] if the sender is gone and
+    /// the channel is drained.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +144,38 @@ mod tests {
         let (tx, rx) = bounded(1);
         drop(rx);
         assert_eq!(tx.send(7), Err(7));
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_queue() {
+        let (tx, rx) = bounded(4);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(Disconnected));
+    }
+
+    #[test]
+    fn try_recv_drains_without_blocking() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(rx.try_recv(), Err(Disconnected));
+        tx.send(5).unwrap();
+        assert_eq!(rx.try_recv(), Ok(5));
+        assert_eq!(rx.try_recv(), Err(Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(9));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Disconnected));
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! A dependency-free parallel execution subsystem for the *Selective
 //! Data Contrast* stack: a fixed-size worker pool with data-parallel
 //! primitives ([`par_for`], [`par_chunks_mut`], [`par_reduce`]) and a
-//! bounded [`channel`] used for stream prefetching.
+//! bounded [`channel`] used for stream prefetching and the serve
+//! layer's request coalescing.
 //!
 //! ## Determinism contract
 //!
@@ -40,7 +41,7 @@
 //! assert_eq!(squares[999], 999 * 999);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod channel;
 

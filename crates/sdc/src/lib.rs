@@ -11,6 +11,8 @@
 //! * [`eval`] — linear/kNN probes, supervised baseline, learning curves.
 //! * [`runtime`] — the parallel execution subsystem (worker pool,
 //!   deterministic data-parallel kernels, prefetch channels).
+//! * [`serve`] — the batched scoring service layer (request
+//!   coalescing, per-stream buffer shards, the multi-stream trainer).
 //!
 //! ```
 //! use sdc::core::{ContrastScoringPolicy, StreamTrainer, TrainerConfig};
@@ -38,4 +40,5 @@ pub use sdc_data as data;
 pub use sdc_eval as eval;
 pub use sdc_nn as nn;
 pub use sdc_runtime as runtime;
+pub use sdc_serve as serve;
 pub use sdc_tensor as tensor;

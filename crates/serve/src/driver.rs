@@ -1,0 +1,274 @@
+//! Multi-stream training driver.
+//!
+//! [`MultiStreamTrainer`] glues the three serving pieces together: one
+//! shared [`StreamTrainer`] (model + optimizer + augmentation state),
+//! one [`ScoringService`] scoring every stream's replacement batches,
+//! and one [`ShardedBuffer`] holding per-stream buffers. Each *round*
+//! works in three phases:
+//!
+//! 1. **Replace (concurrent)** — every participating stream's segment
+//!    is merged into its own shard on its own scoped thread, scoring
+//!    through the service (which coalesces the streams' requests into
+//!    shared batches);
+//! 2. **Update (serial, ascending stream id)** — each refreshed shard
+//!    forms one mini-batch and drives one optimizer update via
+//!    [`StreamTrainer::update_on`];
+//! 3. **Publish** — the updated model is snapshotted into the service
+//!    for the next round's scoring.
+//!
+//! With a single stream, a round is exactly one
+//! [`StreamTrainer::step`]: same scores (bit-identical), same buffer
+//! contents, same augmentation-RNG consumption — asserted by
+//! `tests/equivalence.rs`.
+
+use std::collections::BTreeMap;
+
+use sdc_core::policy::ContrastScoringPolicy;
+use sdc_core::{ContrastiveModel, ReplacementOutcome, StreamTrainer, TrainerConfig};
+use sdc_data::{Sample, StreamId};
+use sdc_tensor::Result;
+
+use crate::service::{ScoringClient, ScoringService, ServeConfig, ServeStats};
+use crate::shard::ShardedBuffer;
+
+/// One stream's slice of a round's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundReport {
+    /// The stream this report belongs to.
+    pub stream: StreamId,
+    /// Replacement bookkeeping from the stream's shard.
+    pub outcome: ReplacementOutcome,
+    /// NT-Xent loss of the update on the refreshed shard.
+    pub loss: f32,
+}
+
+/// One trainer, one scoring service, many streams.
+///
+/// Streams are registered lazily by [`MultiStreamTrainer::run_round`];
+/// a stream that stops participating should be removed with
+/// [`MultiStreamTrainer::drop_stream`], otherwise the service keeps
+/// waiting for it each round and falls back to deadline pacing.
+#[derive(Debug)]
+pub struct MultiStreamTrainer {
+    trainer: StreamTrainer,
+    service: ScoringService,
+    clients: BTreeMap<StreamId, ScoringClient>,
+    shards: ShardedBuffer,
+}
+
+impl MultiStreamTrainer {
+    /// Creates the driver: a fresh trainer plus a scoring service
+    /// seeded with the trainer's initial model snapshot. Every stream
+    /// shard gets `config.buffer_size` slots and a clone of `policy`.
+    pub fn new(config: TrainerConfig, policy: ContrastScoringPolicy, serve: ServeConfig) -> Self {
+        let shards = ShardedBuffer::new(config.buffer_size, policy.clone());
+        let trainer = StreamTrainer::new(config, Box::new(policy));
+        let service = ScoringService::start(trainer.model().clone(), serve);
+        Self { trainer, service, clients: BTreeMap::new(), shards }
+    }
+
+    /// Registers `stream` with the scoring service (idempotent; rounds
+    /// do this automatically for participating streams).
+    pub fn register(&mut self, stream: StreamId) {
+        let service = &self.service;
+        self.clients.entry(stream).or_insert_with(|| service.client(stream));
+    }
+
+    /// Removes a finished stream: deregisters its scoring client (so
+    /// round flushes stop waiting for it) and discards its shard.
+    pub fn drop_stream(&mut self, stream: StreamId) {
+        self.clients.remove(&stream);
+        self.shards.remove(stream);
+    }
+
+    /// The shared trainer.
+    pub fn trainer(&self) -> &StreamTrainer {
+        &self.trainer
+    }
+
+    /// Mutable access to the shared model (e.g. for evaluation probes).
+    pub fn model_mut(&mut self) -> &mut ContrastiveModel {
+        self.trainer.model_mut()
+    }
+
+    /// The per-stream shards.
+    pub fn shards(&self) -> &ShardedBuffer {
+        &self.shards
+    }
+
+    /// A snapshot of the scoring service's coalescing counters.
+    pub fn serve_stats(&self) -> ServeStats {
+        self.service.stats()
+    }
+
+    /// Runs one serving round over `segments` (one entry per
+    /// participating stream; duplicate ids are merged in order).
+    /// Returns one report per stream, in ascending stream-id order.
+    ///
+    /// Entries with **empty** segments are ignored: an exhausted
+    /// stream neither registers nor produces a report this round (it
+    /// would otherwise make the service wait on a stream that never
+    /// scores). Call [`MultiStreamTrainer::drop_stream`] when a stream
+    /// ends for good.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scoring and model errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker thread panics.
+    pub fn run_round(
+        &mut self,
+        segments: Vec<(StreamId, Vec<Sample>)>,
+    ) -> Result<Vec<RoundReport>> {
+        let mut merged: BTreeMap<StreamId, Vec<Sample>> = BTreeMap::new();
+        for (id, segment) in segments {
+            if segment.is_empty() {
+                continue;
+            }
+            self.register(id);
+            self.shards.shard_mut(id); // materialize before the scoped borrow
+            merged.entry(id).or_default().extend(segment);
+        }
+
+        // Phase 1: concurrent replacement, one scoped thread per
+        // stream, all scoring through the coalescing service.
+        let clients = &self.clients;
+        let results: Vec<(StreamId, Result<ReplacementOutcome>)> = std::thread::scope(|scope| {
+            let workers: Vec<_> = self
+                .shards
+                .iter_mut()
+                .filter_map(|(id, shard)| merged.remove(&id).map(|segment| (id, shard, segment)))
+                .map(|(id, shard, segment)| {
+                    let client = clients.get(&id).expect("registered above");
+                    scope.spawn(move || (id, shard.replace_with(segment, |s| client.score(s))))
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().expect("shard worker panicked")).collect()
+        });
+
+        // Phase 2: serial updates in ascending stream-id order (the
+        // scoped workers were spawned from the sorted shard iterator,
+        // so `results` is already ordered).
+        let mut reports = Vec::with_capacity(results.len());
+        for (id, outcome) in results {
+            let outcome = outcome?;
+            let batch = self.shards.shard(id).expect("shard exists").buffer().samples();
+            let loss = self.trainer.update_on(&batch)?;
+            reports.push(RoundReport { stream: id, outcome, loss });
+        }
+
+        // Phase 3: publish the post-update model for the next round.
+        self.service.swap_model(self.trainer.model().clone());
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdc_core::model::ModelConfig;
+    use sdc_data::stream::TemporalStream;
+    use sdc_data::synth::{SynthConfig, SynthDataset};
+    use sdc_nn::models::EncoderConfig;
+
+    fn tiny_config() -> TrainerConfig {
+        TrainerConfig {
+            buffer_size: 4,
+            model: ModelConfig {
+                encoder: EncoderConfig::tiny(),
+                projection_hidden: 8,
+                projection_dim: 4,
+                seed: 2,
+            },
+            seed: 2,
+            ..TrainerConfig::default()
+        }
+    }
+
+    fn stream(seed: u64) -> TemporalStream {
+        let ds = SynthDataset::new(SynthConfig {
+            classes: 3,
+            height: 8,
+            width: 8,
+            ..SynthConfig::default()
+        });
+        TemporalStream::new(ds, 4, seed)
+    }
+
+    #[test]
+    fn rounds_train_multiple_streams_against_one_model() {
+        let mut driver = MultiStreamTrainer::new(
+            tiny_config(),
+            ContrastScoringPolicy::new(),
+            // Long deadline: the batch-count assertions below rely on
+            // round flushes even when a loaded host stalls a stream.
+            ServeConfig {
+                flush_deadline: std::time::Duration::from_secs(5),
+                ..ServeConfig::default()
+            },
+        );
+        let mut streams: Vec<TemporalStream> = (0..3).map(|i| stream(10 + i)).collect();
+        for _ in 0..2 {
+            let segments: Vec<(StreamId, Vec<Sample>)> = streams
+                .iter_mut()
+                .enumerate()
+                .map(|(i, s)| (i as StreamId, s.next_segment(4).unwrap()))
+                .collect();
+            let reports = driver.run_round(segments).unwrap();
+            assert_eq!(reports.len(), 3);
+            assert!(reports.iter().all(|r| r.loss.is_finite()));
+            let ids: Vec<StreamId> = reports.iter().map(|r| r.stream).collect();
+            assert_eq!(ids, vec![0, 1, 2], "reports come back in stream-id order");
+        }
+        assert_eq!(driver.shards().shard_count(), 3);
+        assert_eq!(driver.shards().total_len(), 12, "every shard filled to capacity");
+        assert_eq!(driver.trainer().iteration(), 6, "one update per stream per round");
+        let stats = driver.serve_stats();
+        assert_eq!(stats.requests, 6);
+        assert!(stats.batches <= 4, "requests were coalesced, got {stats:?}");
+    }
+
+    #[test]
+    fn empty_segments_are_skipped_not_fatal() {
+        let mut driver = MultiStreamTrainer::new(
+            tiny_config(),
+            ContrastScoringPolicy::new(),
+            ServeConfig::default(),
+        );
+        let mut live = stream(3);
+        // An exhausted stream hands in an empty segment: the round must
+        // proceed for the live stream, report nothing for the empty
+        // one, and not leave the service waiting on a never-scoring
+        // registrant.
+        let reports =
+            driver.run_round(vec![(0, live.next_segment(4).unwrap()), (1, Vec::new())]).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].stream, 0);
+        assert_eq!(driver.shards().shard_count(), 1, "no shard for the empty stream");
+        // A follow-up round flushes by round condition, not deadline.
+        let reports = driver.run_round(vec![(0, live.next_segment(4).unwrap())]).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(driver.serve_stats().deadline_flushes, 0);
+    }
+
+    #[test]
+    fn dropping_a_stream_keeps_rounds_flowing() {
+        let mut driver = MultiStreamTrainer::new(
+            tiny_config(),
+            ContrastScoringPolicy::new(),
+            ServeConfig::default(),
+        );
+        let mut a = stream(1);
+        let mut b = stream(2);
+        driver
+            .run_round(vec![(0, a.next_segment(4).unwrap()), (1, b.next_segment(4).unwrap())])
+            .unwrap();
+        driver.drop_stream(1);
+        assert_eq!(driver.shards().shard_count(), 1);
+        // The next round must not wait for the departed stream.
+        let reports = driver.run_round(vec![(0, a.next_segment(4).unwrap())]).unwrap();
+        assert_eq!(reports.len(), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! # sdc-serve
+//!
+//! The batched scoring **service layer** of the *Selective Data
+//! Contrast* stack — the "millions of users" direction from the
+//! roadmap, built on the observation that the `sdc-runtime` worker
+//! pool makes scoring batch size nearly free while
+//! [`ReplacementPolicy::replace`](sdc_core::ReplacementPolicy::replace)
+//! scores one stream segment at a time.
+//!
+//! Three pieces, each usable on its own:
+//!
+//! * [`ScoringService`] / [`ScoringClient`] — an async-free,
+//!   thread-based request coalescer: many concurrent streams submit
+//!   scoring requests over bounded channels; a batcher thread merges
+//!   them into large batches (flush on [`ServeConfig::max_batch`],
+//!   a completed request round, or a liveness deadline), scores each
+//!   batch through one shared model via
+//!   [`contrast_scores_shared`](sdc_core::contrast_scores_shared), and
+//!   routes score slices back to per-request reply channels.
+//! * [`ShardedBuffer`] — per-stream replay-buffer + policy shards, so
+//!   independent streams never contend on one buffer.
+//! * [`MultiStreamTrainer`] — the round driver training one shared
+//!   model against many streams: concurrent shard replacement through
+//!   the service, serial per-shard updates, then a model snapshot
+//!   published back to the service.
+//!
+//! ## Determinism contract
+//!
+//! Batch *results* are bit-identical to direct scoring regardless of
+//! coalescing: every eval-mode op is row-independent and chunking is
+//! size-derived, so a sample's score does not depend on which batch it
+//! rode in or on `SDC_THREADS`. Batch *composition* is reproducible
+//! for a fixed stream set because flushes are derived from request
+//! counts (size and round conditions), with the wall-clock deadline
+//! acting only as a liveness fallback for stalled streams. A
+//! single-stream [`MultiStreamTrainer`] reproduces the direct
+//! [`StreamTrainer::step`](sdc_core::StreamTrainer::step) path
+//! bit-for-bit (`tests/equivalence.rs`).
+
+#![deny(missing_docs)]
+
+mod driver;
+mod service;
+mod shard;
+
+pub use driver::{MultiStreamTrainer, RoundReport};
+pub use service::{ScoreTicket, ScoringClient, ScoringService, ServeConfig, ServeStats};
+pub use shard::{ShardedBuffer, StreamShard};

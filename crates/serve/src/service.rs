@@ -1,0 +1,600 @@
+//! The coalescing scoring service.
+//!
+//! A [`ScoringService`] owns one batcher thread and one
+//! [`ContrastiveModel`] snapshot. Any number of [`ScoringClient`]s —
+//! typically one per stream, running on their own threads — submit
+//! scoring requests into a bounded request queue; the batcher coalesces
+//! them into large batches, runs each batch through
+//! [`contrast_scores_shared`] (which fans out over the `sdc-runtime`
+//! worker pool), and routes the per-request score slices back through
+//! per-request reply channels.
+//!
+//! ## Flush policy
+//!
+//! A coalesced batch is cut when the first of three conditions holds:
+//!
+//! 1. **Size** — pending requests hold at least
+//!    [`ServeConfig::max_batch`] samples (a *split flush* scores the
+//!    oldest requests up to the cap and leaves the rest pending);
+//! 2. **Round** — every live (registered, not yet dropped) stream has
+//!    at least one request pending, so waiting longer cannot grow the
+//!    batch (the common steady-state path);
+//! 3. **Deadline** — the oldest pending request has waited
+//!    [`ServeConfig::flush_deadline`], the wall-clock liveness fallback
+//!    for slow or stalled streams.
+//!
+//! Conditions 1 and 2 depend only on request counts and the registered
+//! stream set — never on wall-clock time — so with a fixed stream set
+//! of blocking clients, batch composition is reproducible run to run:
+//! pending requests are ordered by stream id before each cut, and the
+//! deadline only fires when some stream genuinely stalls.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sdc_core::score::contrast_scores_shared;
+use sdc_core::ContrastiveModel;
+use sdc_data::{Sample, StreamId};
+use sdc_runtime::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use sdc_runtime::Runtime;
+use sdc_tensor::{Result, TensorError};
+
+/// Tuning knobs of a [`ScoringService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum samples per coalesced scoring batch. Pending requests
+    /// beyond this are cut into follow-up batches (split flush).
+    pub max_batch: usize,
+    /// How long the oldest pending request may wait before a partial
+    /// batch is flushed anyway — the liveness fallback when some
+    /// registered stream is slow. Batch composition under a fixed,
+    /// healthy stream set is governed by the round/size conditions, not
+    /// this deadline.
+    pub flush_deadline: Duration,
+    /// Capacity of the bounded request queue clients submit into.
+    pub queue_depth: usize,
+    /// Thread count for a private `sdc-runtime` pool installed on the
+    /// batcher thread (`None` uses the process-global pool, i.e.
+    /// `SDC_THREADS`). Tests pin this to assert thread-count
+    /// invariance.
+    pub threads: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            flush_deadline: Duration::from_millis(20),
+            queue_depth: 64,
+            threads: None,
+        }
+    }
+}
+
+/// Why a batch was cut. Recorded per flush in [`ServeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushReason {
+    Size,
+    Round,
+    Deadline,
+}
+
+/// Counters published by the batcher thread (all monotone).
+#[derive(Debug, Default)]
+struct StatsInner {
+    requests: AtomicU64,
+    samples: AtomicU64,
+    batches: AtomicU64,
+    size_flushes: AtomicU64,
+    round_flushes: AtomicU64,
+    deadline_flushes: AtomicU64,
+    dropped_replies: AtomicU64,
+}
+
+/// A snapshot of the service's bookkeeping counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Scoring requests answered (including error replies).
+    pub requests: u64,
+    /// Samples scored across all batches.
+    pub samples: u64,
+    /// Coalesced batches executed.
+    pub batches: u64,
+    /// Batches cut because pending samples reached `max_batch`.
+    pub size_flushes: u64,
+    /// Batches cut because every live stream had a request pending.
+    pub round_flushes: u64,
+    /// Batches cut by the wall-clock liveness deadline.
+    pub deadline_flushes: u64,
+    /// Replies that could not be delivered because the requesting
+    /// stream dropped its ticket mid-flight.
+    pub dropped_replies: u64,
+}
+
+impl ServeStats {
+    /// Mean samples per coalesced batch (0 when no batch ran) — the
+    /// number the coalescing exists to push up.
+    pub fn mean_batch_samples(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.samples as f64 / self.batches as f64
+        }
+    }
+}
+
+/// One queued scoring request.
+#[derive(Debug)]
+struct ScoreRequest {
+    stream: StreamId,
+    /// Arrival sequence number; keeps the per-stream order stable when
+    /// requests are sorted by stream id before a cut.
+    seq: u64,
+    /// Submission time; the flush deadline is anchored to the oldest
+    /// *remaining* pending request, so it must be carried per request
+    /// (a cached "oldest" timestamp would go stale after a split
+    /// flush serves the request it belonged to).
+    arrived: Instant,
+    samples: Vec<Sample>,
+    reply: Sender<Result<Vec<f32>>>,
+}
+
+/// Control + data messages accepted by the batcher thread.
+#[derive(Debug)]
+enum Request {
+    Score(ScoreRequest),
+    Register(StreamId),
+    Deregister(StreamId),
+    /// Install a fresh model snapshot for all subsequent batches
+    /// (training drivers publish one after each update round).
+    SwapModel(Box<ContrastiveModel>),
+    /// Flush whatever is pending and exit (sent by the service handle's
+    /// `Drop`; clients keep `Sender` clones, so queue disconnection
+    /// alone cannot signal termination).
+    Shutdown,
+}
+
+fn service_gone() -> TensorError {
+    TensorError::InvalidArgument {
+        op: "scoring_service",
+        message: "scoring service terminated".into(),
+    }
+}
+
+/// A handle for one stream to score through a [`ScoringService`].
+///
+/// Each client registers its [`StreamId`] on creation; dropping the
+/// client deregisters it, shrinking the set of streams a round flush
+/// waits for. Ids should be unique per live client — two clients
+/// sharing an id would deregister each other.
+#[derive(Debug)]
+pub struct ScoringClient {
+    stream: StreamId,
+    tx: Sender<Request>,
+}
+
+/// An in-flight scoring request. Dropping the ticket abandons the
+/// reply: the service scores the batch normally and counts the
+/// undeliverable reply in [`ServeStats::dropped_replies`].
+#[derive(Debug)]
+pub struct ScoreTicket {
+    rx: Receiver<Result<Vec<f32>>>,
+}
+
+impl ScoreTicket {
+    /// Blocks until the coalesced batch containing this request has
+    /// been scored, returning this request's scores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scoring errors, and reports the service terminating
+    /// before replying.
+    pub fn wait(self) -> Result<Vec<f32>> {
+        self.rx.recv().map_err(|_| service_gone())?
+    }
+}
+
+impl ScoringClient {
+    /// This client's stream id.
+    pub fn stream_id(&self) -> StreamId {
+        self.stream
+    }
+
+    /// Submits `samples` for scoring without waiting for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Reports the service having terminated.
+    pub fn submit(&self, samples: Vec<Sample>) -> Result<ScoreTicket> {
+        let (rtx, rrx) = bounded(1);
+        self.tx
+            .send(Request::Score(ScoreRequest {
+                stream: self.stream,
+                seq: 0, // assigned by the batcher on receipt
+                arrived: Instant::now(),
+                samples,
+                reply: rtx,
+            }))
+            .map_err(|_| service_gone())?;
+        Ok(ScoreTicket { rx: rrx })
+    }
+
+    /// Scores `samples` through the service, blocking until the
+    /// coalesced batch containing them has run.
+    ///
+    /// With at most one in-flight request per client (which this
+    /// blocking call guarantees), batch composition follows the
+    /// deterministic round/size flush conditions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scoring errors and service termination.
+    pub fn score(&self, samples: Vec<Sample>) -> Result<Vec<f32>> {
+        self.submit(samples)?.wait()
+    }
+}
+
+impl Drop for ScoringClient {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Request::Deregister(self.stream));
+    }
+}
+
+/// The batched scoring service: one batcher thread coalescing requests
+/// from many streams into shared-model scoring batches.
+///
+/// ```
+/// use sdc_core::model::ModelConfig;
+/// use sdc_core::score::contrast_scores_shared;
+/// use sdc_core::ContrastiveModel;
+/// use sdc_nn::models::EncoderConfig;
+/// use sdc_serve::{ScoringService, ServeConfig};
+/// use sdc_tensor::Tensor;
+///
+/// let model = ContrastiveModel::new(&ModelConfig {
+///     encoder: EncoderConfig::tiny(),
+///     projection_hidden: 8,
+///     projection_dim: 4,
+///     seed: 0,
+/// });
+/// let reference = model.clone();
+/// let service = ScoringService::start(model, ServeConfig::default());
+/// let client = service.client(0);
+///
+/// let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+/// let samples: Vec<_> = (0..4)
+///     .map(|i| sdc_data::Sample::new(Tensor::randn([3, 8, 8], 1.0, &mut rng), 0, i))
+///     .collect();
+/// let served = client.score(samples.clone())?;
+/// // Bit-identical to scoring directly against the same model.
+/// assert_eq!(served, contrast_scores_shared(&reference, &samples)?);
+/// # Ok::<(), sdc_tensor::TensorError>(())
+/// ```
+#[derive(Debug)]
+pub struct ScoringService {
+    tx: Option<Sender<Request>>,
+    worker: Option<JoinHandle<()>>,
+    stats: Arc<StatsInner>,
+}
+
+impl ScoringService {
+    /// Starts the service around a model snapshot. The batcher thread
+    /// runs until the handle is dropped.
+    pub fn start(model: ContrastiveModel, config: ServeConfig) -> Self {
+        let (tx, rx) = bounded::<Request>(config.queue_depth.max(1));
+        let stats = Arc::new(StatsInner::default());
+        let batcher_stats = Arc::clone(&stats);
+        let worker = std::thread::Builder::new()
+            .name("sdc-serve-batcher".into())
+            .spawn(move || match config.threads {
+                Some(n) => {
+                    let rt = Runtime::new(n);
+                    rt.install(|| Batcher::new(model, config, batcher_stats).run(rx));
+                }
+                None => Batcher::new(model, config, batcher_stats).run(rx),
+            })
+            .expect("spawn serve batcher");
+        Self { tx: Some(tx), worker: Some(worker), stats }
+    }
+
+    /// Creates (and registers) a client for `stream`. Round flushes
+    /// wait for every registered stream, so create one client per
+    /// actively submitting stream and drop it when the stream ends.
+    pub fn client(&self, stream: StreamId) -> ScoringClient {
+        let tx = self.tx.as_ref().expect("sender lives until drop").clone();
+        let _ = tx.send(Request::Register(stream));
+        ScoringClient { stream, tx }
+    }
+
+    /// Publishes a fresh model snapshot; batches cut after this call
+    /// score with the new parameters.
+    pub fn swap_model(&self, model: ContrastiveModel) {
+        let tx = self.tx.as_ref().expect("sender lives until drop");
+        let _ = tx.send(Request::SwapModel(Box::new(model)));
+    }
+
+    /// A snapshot of the service's counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.stats.requests.load(Ordering::SeqCst),
+            samples: self.stats.samples.load(Ordering::SeqCst),
+            batches: self.stats.batches.load(Ordering::SeqCst),
+            size_flushes: self.stats.size_flushes.load(Ordering::SeqCst),
+            round_flushes: self.stats.round_flushes.load(Ordering::SeqCst),
+            deadline_flushes: self.stats.deadline_flushes.load(Ordering::SeqCst),
+            dropped_replies: self.stats.dropped_replies.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl Drop for ScoringService {
+    fn drop(&mut self) {
+        // An explicit message (not queue disconnection — clients hold
+        // `Sender` clones) tells the batcher to flush and exit; then
+        // reap the thread.
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Request::Shutdown);
+        }
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The batcher thread's state machine.
+struct Batcher {
+    model: ContrastiveModel,
+    config: ServeConfig,
+    stats: Arc<StatsInner>,
+    live: BTreeSet<StreamId>,
+    pending: Vec<ScoreRequest>,
+    next_seq: u64,
+}
+
+impl Batcher {
+    fn new(model: ContrastiveModel, config: ServeConfig, stats: Arc<StatsInner>) -> Self {
+        Self { model, config, stats, live: BTreeSet::new(), pending: Vec::new(), next_seq: 0 }
+    }
+
+    fn run(mut self, rx: Receiver<Request>) {
+        loop {
+            let message = if self.pending.is_empty() {
+                match rx.recv() {
+                    Ok(m) => Some(m),
+                    Err(_) => break,
+                }
+            } else {
+                let deadline = self.oldest_arrival().expect("pending implies an arrival")
+                    + self.config.flush_deadline;
+                match deadline.checked_duration_since(Instant::now()) {
+                    None => None, // deadline already passed
+                    Some(remaining) => match rx.recv_timeout(remaining) {
+                        Ok(m) => Some(m),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            // Final flush: answer what is queued, then exit.
+                            self.flush_all(FlushReason::Deadline);
+                            return;
+                        }
+                    },
+                }
+            };
+            match message {
+                Some(Request::Score(mut request)) => {
+                    if request.samples.is_empty() {
+                        // Nothing to batch; answer immediately so empty
+                        // requests cannot stall a round.
+                        self.stats.requests.fetch_add(1, Ordering::SeqCst);
+                        self.reply(&request, Ok(Vec::new()));
+                        continue;
+                    }
+                    request.seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.pending.push(request);
+                    self.flush_ready();
+                }
+                Some(Request::Register(id)) => {
+                    self.live.insert(id);
+                }
+                Some(Request::Deregister(id)) => {
+                    self.live.remove(&id);
+                    // A shrunken stream set may complete the round.
+                    self.flush_ready();
+                }
+                Some(Request::SwapModel(model)) => {
+                    self.model = *model;
+                }
+                Some(Request::Shutdown) => break,
+                None => {
+                    self.flush_all(FlushReason::Deadline);
+                }
+            }
+        }
+        self.flush_all(FlushReason::Deadline);
+    }
+
+    /// Cuts batches while a count-derived flush condition holds.
+    fn flush_ready(&mut self) {
+        loop {
+            let pending_samples: usize = self.pending.iter().map(|r| r.samples.len()).sum();
+            if pending_samples >= self.config.max_batch && !self.pending.is_empty() {
+                self.flush_one(FlushReason::Size);
+            } else if !self.pending.is_empty() && self.round_complete() {
+                self.flush_one(FlushReason::Round);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Submission time of the oldest still-pending request — the
+    /// deadline anchor. Derived (never cached) so a split flush that
+    /// serves the oldest request cannot leave a stale anchor behind
+    /// and turn count-derived composition wall-clock dependent.
+    fn oldest_arrival(&self) -> Option<Instant> {
+        self.pending.iter().map(|r| r.arrived).min()
+    }
+
+    /// Whether every live stream has at least one pending request
+    /// (vacuously true when no stream is registered — then there is
+    /// nobody to wait for).
+    fn round_complete(&self) -> bool {
+        self.live.iter().all(|id| self.pending.iter().any(|r| r.stream == *id))
+    }
+
+    /// Flushes everything queued, in `max_batch`-sized waves.
+    fn flush_all(&mut self, reason: FlushReason) {
+        while !self.pending.is_empty() {
+            self.flush_one(reason);
+        }
+    }
+
+    /// Cuts one batch: orders pending requests by (stream id, arrival),
+    /// takes whole requests up to `max_batch` samples (always at least
+    /// one), scores them as a single coalesced batch, and routes each
+    /// request's score slice back.
+    fn flush_one(&mut self, reason: FlushReason) {
+        self.pending.sort_by_key(|r| (r.stream, r.seq));
+        let mut take = 0;
+        let mut batch_samples = 0;
+        for request in &self.pending {
+            if take > 0 && batch_samples + request.samples.len() > self.config.max_batch {
+                break;
+            }
+            batch_samples += request.samples.len();
+            take += 1;
+        }
+        let mut wave: Vec<ScoreRequest> = self.pending.drain(..take).collect();
+
+        // Move each request's samples into the coalesced batch (the
+        // wave is owned; only per-request lengths are needed to route
+        // score slices back).
+        let lens: Vec<usize> = wave.iter().map(|r| r.samples.len()).collect();
+        let mut all: Vec<Sample> = Vec::with_capacity(batch_samples);
+        for request in &mut wave {
+            all.append(&mut request.samples);
+        }
+        let scored = contrast_scores_shared(&self.model, &all);
+
+        self.stats.batches.fetch_add(1, Ordering::SeqCst);
+        self.stats.requests.fetch_add(wave.len() as u64, Ordering::SeqCst);
+        self.stats.samples.fetch_add(batch_samples as u64, Ordering::SeqCst);
+        let reason_counter = match reason {
+            FlushReason::Size => &self.stats.size_flushes,
+            FlushReason::Round => &self.stats.round_flushes,
+            FlushReason::Deadline => &self.stats.deadline_flushes,
+        };
+        reason_counter.fetch_add(1, Ordering::SeqCst);
+
+        match scored {
+            Ok(scores) => {
+                let mut offset = 0;
+                for (request, len) in wave.iter().zip(&lens) {
+                    let slice = scores[offset..offset + len].to_vec();
+                    offset += len;
+                    self.reply(request, Ok(slice));
+                }
+            }
+            Err(e) => {
+                for request in &wave {
+                    self.reply(request, Err(e.clone()));
+                }
+            }
+        }
+    }
+
+    fn reply(&self, request: &ScoreRequest, result: Result<Vec<f32>>) {
+        if request.reply.send(result).is_err() {
+            self.stats.dropped_replies.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdc_core::model::ModelConfig;
+    use sdc_nn::models::EncoderConfig;
+    use sdc_tensor::Tensor;
+
+    fn tiny_model(seed: u64) -> ContrastiveModel {
+        ContrastiveModel::new(&ModelConfig {
+            encoder: EncoderConfig::tiny(),
+            projection_hidden: 8,
+            projection_dim: 4,
+            seed,
+        })
+    }
+
+    fn samples(n: usize, seed: u64) -> Vec<Sample> {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        (0..n).map(|i| Sample::new(Tensor::randn([3, 8, 8], 1.0, &mut rng), 0, i as u64)).collect()
+    }
+
+    #[test]
+    fn served_scores_match_direct_scoring() {
+        let model = tiny_model(1);
+        let reference = model.clone();
+        let service = ScoringService::start(model, ServeConfig::default());
+        let client = service.client(0);
+        let pool = samples(6, 2);
+        let served = client.score(pool.clone()).unwrap();
+        let direct = contrast_scores_shared(&reference, &pool).unwrap();
+        assert_eq!(served, direct);
+        let stats = service.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.samples, 6);
+    }
+
+    #[test]
+    fn empty_requests_answer_immediately() {
+        let service = ScoringService::start(tiny_model(1), ServeConfig::default());
+        let client = service.client(0);
+        assert_eq!(client.score(Vec::new()).unwrap(), Vec::<f32>::new());
+        let stats = service.stats();
+        assert_eq!(stats.batches, 0, "empty requests must not spend a batch");
+        assert_eq!(stats.requests, 1, "answered requests count even when empty");
+    }
+
+    #[test]
+    fn swap_model_changes_subsequent_scores() {
+        let service = ScoringService::start(tiny_model(1), ServeConfig::default());
+        let client = service.client(0);
+        let pool = samples(4, 3);
+        let before = client.score(pool.clone()).unwrap();
+        let replacement = tiny_model(99);
+        let expected = contrast_scores_shared(&replacement, &pool).unwrap();
+        service.swap_model(replacement);
+        let after = client.score(pool).unwrap();
+        assert_eq!(after, expected);
+        assert_ne!(before, after, "different weights must score differently");
+    }
+
+    #[test]
+    fn shape_errors_reach_every_request_in_the_wave() {
+        let service = ScoringService::start(tiny_model(1), ServeConfig::default());
+        let client = service.client(0);
+        // Mismatched image shapes inside one request: stacking the
+        // coalesced batch errors, and the client must receive that
+        // error rather than hang.
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+        let bad = vec![
+            Sample::new(Tensor::randn([3, 8, 8], 1.0, &mut rng), 0, 0),
+            Sample::new(Tensor::randn([3, 4, 4], 1.0, &mut rng), 0, 1),
+        ];
+        assert!(client.score(bad).is_err());
+        // The service must still be healthy afterwards.
+        assert!(client.score(samples(2, 6)).is_ok());
+    }
+
+    #[test]
+    fn client_outliving_service_gets_error_not_hang() {
+        let service = ScoringService::start(tiny_model(1), ServeConfig::default());
+        let client = service.client(0);
+        drop(service);
+        assert!(client.score(samples(2, 7)).is_err());
+    }
+}

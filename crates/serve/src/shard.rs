@@ -1,0 +1,211 @@
+//! Per-stream buffer sharding.
+//!
+//! The paper's trainer owns exactly one [`ReplayBuffer`] — correct for
+//! one device, but a serving deployment trains one shared model against
+//! **many** independent streams, each with its own temporal
+//! correlation. [`ShardedBuffer`] gives every stream a private shard
+//! (a [`ReplayBuffer`] plus a [`ContrastScoringPolicy`] instance), so
+//! concurrent replacement never contends on a shared buffer, while the
+//! model update still sees one mini-batch per shard.
+//!
+//! Shards are keyed by [`StreamId`] in a `BTreeMap`, so every
+//! iteration order is sorted and deterministic.
+
+use std::collections::BTreeMap;
+
+use sdc_core::policy::ContrastScoringPolicy;
+use sdc_core::{ReplacementOutcome, ReplayBuffer};
+use sdc_data::{Sample, StreamId};
+use sdc_tensor::Result;
+
+/// One stream's private slice of serving state: its replay buffer and
+/// its replacement-policy instance (lazy-scoring ages and score
+/// momentum are per-stream state, so the policy cannot be shared).
+#[derive(Debug, Clone)]
+pub struct StreamShard {
+    buffer: ReplayBuffer,
+    policy: ContrastScoringPolicy,
+}
+
+impl StreamShard {
+    /// Creates an empty shard with the given buffer capacity and policy
+    /// configuration.
+    pub fn new(capacity: usize, policy: ContrastScoringPolicy) -> Self {
+        Self { buffer: ReplayBuffer::new(capacity), policy }
+    }
+
+    /// The shard's buffer.
+    pub fn buffer(&self) -> &ReplayBuffer {
+        &self.buffer
+    }
+
+    /// This shard's replacement policy.
+    pub fn policy(&self) -> &ContrastScoringPolicy {
+        &self.policy
+    }
+
+    /// Merges `incoming` into this shard's buffer, scoring through
+    /// `score` (typically a [`ScoringClient`](crate::ScoringClient)
+    /// routed to the shared scoring service).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scoring errors.
+    pub fn replace_with(
+        &mut self,
+        incoming: Vec<Sample>,
+        score: impl FnMut(Vec<Sample>) -> Result<Vec<f32>>,
+    ) -> Result<ReplacementOutcome> {
+        self.policy.replace_with(&mut self.buffer, incoming, score)
+    }
+}
+
+/// A collection of per-stream [`StreamShard`]s sharing one capacity and
+/// policy configuration, keyed by [`StreamId`].
+#[derive(Debug, Clone)]
+pub struct ShardedBuffer {
+    capacity: usize,
+    policy_template: ContrastScoringPolicy,
+    shards: BTreeMap<StreamId, StreamShard>,
+}
+
+impl ShardedBuffer {
+    /// Creates an empty shard set. Every shard gets `capacity` slots
+    /// and a clone of `policy`.
+    pub fn new(capacity: usize, policy: ContrastScoringPolicy) -> Self {
+        Self { capacity, policy_template: policy, shards: BTreeMap::new() }
+    }
+
+    /// Per-shard buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The shard for `stream`, created empty on first use.
+    pub fn shard_mut(&mut self, stream: StreamId) -> &mut StreamShard {
+        let capacity = self.capacity;
+        let template = &self.policy_template;
+        self.shards.entry(stream).or_insert_with(|| StreamShard::new(capacity, template.clone()))
+    }
+
+    /// The shard for `stream`, if it exists.
+    pub fn shard(&self, stream: StreamId) -> Option<&StreamShard> {
+        self.shards.get(&stream)
+    }
+
+    /// Removes and returns `stream`'s shard (the stream ended).
+    pub fn remove(&mut self, stream: StreamId) -> Option<StreamShard> {
+        self.shards.remove(&stream)
+    }
+
+    /// Registered stream ids, ascending.
+    pub fn ids(&self) -> Vec<StreamId> {
+        self.shards.keys().copied().collect()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total buffered samples across shards.
+    pub fn total_len(&self) -> usize {
+        self.shards.values().map(|s| s.buffer.len()).sum()
+    }
+
+    /// Iterates shards in ascending stream-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (StreamId, &StreamShard)> {
+        self.shards.iter().map(|(id, shard)| (*id, shard))
+    }
+
+    /// Mutably iterates shards in ascending stream-id order. The
+    /// returned borrows are disjoint, so a scoped-thread driver can
+    /// hand each shard to its own worker.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (StreamId, &mut StreamShard)> {
+        self.shards.iter_mut().map(|(id, shard)| (*id, shard))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdc_core::model::{ContrastiveModel, ModelConfig};
+    use sdc_core::score::contrast_scores_shared;
+    use sdc_nn::models::EncoderConfig;
+    use sdc_tensor::Tensor;
+
+    fn samples(n: usize, start_id: u64, seed: u64) -> Vec<Sample> {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        (0..n)
+            .map(|i| Sample::new(Tensor::randn([3, 8, 8], 1.0, &mut rng), 0, start_id + i as u64))
+            .collect()
+    }
+
+    fn model() -> ContrastiveModel {
+        ContrastiveModel::new(&ModelConfig {
+            encoder: EncoderConfig::tiny(),
+            projection_hidden: 8,
+            projection_dim: 4,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn shards_are_created_on_demand_and_isolated() {
+        let m = model();
+        let mut sharded = ShardedBuffer::new(4, ContrastScoringPolicy::new());
+        sharded
+            .shard_mut(3)
+            .replace_with(samples(4, 0, 1), |s| contrast_scores_shared(&m, &s))
+            .unwrap();
+        sharded
+            .shard_mut(1)
+            .replace_with(samples(2, 100, 2), |s| contrast_scores_shared(&m, &s))
+            .unwrap();
+        assert_eq!(sharded.shard_count(), 2);
+        assert_eq!(sharded.ids(), vec![1, 3], "ids iterate sorted");
+        assert_eq!(sharded.total_len(), 6);
+        assert_eq!(sharded.shard(3).unwrap().buffer().len(), 4);
+        assert_eq!(sharded.shard(1).unwrap().buffer().len(), 2);
+        assert!(sharded.shard(2).is_none());
+        // Stream 3's buffer holds only stream 3's ids.
+        assert!(sharded.shard(3).unwrap().buffer().entries().iter().all(|e| e.sample.id < 4));
+    }
+
+    #[test]
+    fn removing_a_shard_forgets_its_state() {
+        let m = model();
+        let mut sharded = ShardedBuffer::new(4, ContrastScoringPolicy::new());
+        sharded
+            .shard_mut(0)
+            .replace_with(samples(4, 0, 3), |s| contrast_scores_shared(&m, &s))
+            .unwrap();
+        let removed = sharded.remove(0).unwrap();
+        assert_eq!(removed.buffer().len(), 4);
+        assert_eq!(sharded.shard_count(), 0);
+        assert!(sharded.shard_mut(0).buffer().is_empty(), "recreated shard starts empty");
+    }
+
+    #[test]
+    fn sharded_replacement_matches_single_buffer_policy() {
+        // One shard driven through the shard API must equal the plain
+        // policy driving a plain buffer.
+        let m = model();
+        let mut sharded = ShardedBuffer::new(3, ContrastScoringPolicy::new());
+        let mut policy = ContrastScoringPolicy::new();
+        let mut buffer = ReplayBuffer::new(3);
+        for step in 0u64..3 {
+            let batch = samples(3, step * 10, 20 + step);
+            sharded
+                .shard_mut(5)
+                .replace_with(batch.clone(), |s| contrast_scores_shared(&m, &s))
+                .unwrap();
+            policy.replace_with(&mut buffer, batch, |s| contrast_scores_shared(&m, &s)).unwrap();
+        }
+        let shard_entries = sharded.shard(5).unwrap().buffer().entries();
+        for (a, b) in shard_entries.iter().zip(buffer.entries()) {
+            assert_eq!(a.sample.id, b.sample.id);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+}

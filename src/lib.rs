@@ -1,6 +1,37 @@
 //! Workspace root package: hosts the cross-crate integration tests in
 //! `tests/` and the runnable walkthroughs in `examples/`. The library
 //! itself just re-exports the [`sdc`] umbrella crate.
+//!
+//! ## Quick start
+//!
+//! The README's quick-start snippet, verbatim, compiled and run as a
+//! doctest so the two cannot drift apart:
+//!
+//! ```
+//! use sdc::core::model::ModelConfig;
+//! use sdc::core::{ContrastScoringPolicy, StreamTrainer, TrainerConfig};
+//! use sdc::data::stream::TemporalStream;
+//! use sdc::data::synth::{SynthConfig, SynthDataset};
+//! use sdc::nn::models::EncoderConfig;
+//!
+//! let config = TrainerConfig {
+//!     buffer_size: 8,
+//!     model: ModelConfig {
+//!         encoder: EncoderConfig::tiny(),
+//!         projection_hidden: 16,
+//!         projection_dim: 8,
+//!         seed: 42,
+//!     },
+//!     ..TrainerConfig::default()
+//! };
+//! let mut trainer = StreamTrainer::new(config, Box::new(ContrastScoringPolicy::new()));
+//! let dataset = SynthDataset::new(SynthConfig { classes: 4, height: 8, width: 8, ..SynthConfig::default() });
+//! let mut stream = TemporalStream::new(dataset, 8, 42);
+//! trainer.run(&mut stream, 3, |iter, report| {
+//!     println!("iter {iter}: loss {:.3}", report.loss);
+//! })?;
+//! # Ok::<(), sdc::tensor::TensorError>(())
+//! ```
 
 #![warn(missing_docs)]
 
