@@ -1,16 +1,20 @@
 //! Benchmarks for the `sdc-runtime` parallel execution subsystem:
-//! contrast scoring and dense matmul at 1/2/4/8 threads, plus the
+//! contrast scoring and dense matmul at 1/2/4/8 threads, the blocked
+//! GEMM kernel against the naive `i-k-j` reference, plus the
 //! zero-skip-branch experiment that motivated removing the
 //! `if aip == 0.0 { continue; }` test from the matmul hot loop.
 //!
 //! Besides the usual console output, results are written to
 //! `BENCH_runtime.json` at the workspace root so future PRs can track
-//! the perf trajectory mechanically.
+//! the perf trajectory mechanically; CI runs this bench in smoke mode
+//! (`SDC_BENCH_SMOKE=1`) and gates the matmul family against the
+//! checked-in baseline with `bench_gate`.
 
 use criterion::{BenchmarkId, Criterion};
 use sdc_bench::{bench_model, bench_samples};
 use sdc_core::score::contrast_scores_shared;
 use sdc_runtime::Runtime;
+use sdc_tensor::ops::gemm::{self, Trans};
 use sdc_tensor::ops::matmul::matmul;
 use sdc_tensor::Tensor;
 use std::hint::black_box;
@@ -42,6 +46,29 @@ fn bench_matmul_by_threads(c: &mut Criterion) {
             bch.iter(|| rt.install(|| matmul(black_box(&a), black_box(&b)).unwrap()))
         });
     }
+    group.finish();
+}
+
+/// The blocked, operand-packing GEMM against the naive `i-k-j`
+/// reference on the hottest shape (256×256 encoder layers), single
+/// thread — isolates the cache-blocking + register-tiling win from the
+/// thread-level speedup the other group measures.
+fn bench_blocked_vs_naive(c: &mut Criterion) {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(13);
+    let a = Tensor::randn([256, 256], 1.0, &mut rng);
+    let b = Tensor::randn([256, 256], 1.0, &mut rng);
+    let rt = Runtime::new(1);
+    let mut group = c.benchmark_group("matmul_kernel_256");
+    group.bench_function("blocked", |bch| {
+        bch.iter(|| {
+            rt.install(|| gemm::blocked(black_box(&a), Trans::N, black_box(&b), Trans::N).unwrap())
+        })
+    });
+    group.bench_function("naive", |bch| {
+        bch.iter(|| {
+            rt.install(|| gemm::naive(black_box(&a), Trans::N, black_box(&b), Trans::N).unwrap())
+        })
+    });
     group.finish();
 }
 
@@ -77,14 +104,25 @@ fn bench_zero_skip_branch(c: &mut Criterion) {
     let sparse_a = dense_a.map(|v| if v > 0.0 { v } else { 0.0 });
     let rt = Runtime::new(1);
     let mut group = c.benchmark_group("matmul_zero_skip");
+    // The branchless arms pin `gemm::naive` (not the public `matmul`,
+    // which now takes the blocked path at this size) so the experiment
+    // stays a like-for-like comparison of the same loop ± the branch.
     group.bench_function("dense/branchless", |bch| {
-        bch.iter(|| rt.install(|| matmul(black_box(&dense_a), black_box(&b)).unwrap()))
+        bch.iter(|| {
+            rt.install(|| {
+                gemm::naive(black_box(&dense_a), Trans::N, black_box(&b), Trans::N).unwrap()
+            })
+        })
     });
     group.bench_function("dense/zero_skip", |bch| {
         bch.iter(|| matmul_with_zero_skip(black_box(&dense_a), black_box(&b), n, n, n))
     });
     group.bench_function("half_sparse/branchless", |bch| {
-        bch.iter(|| rt.install(|| matmul(black_box(&sparse_a), black_box(&b)).unwrap()))
+        bch.iter(|| {
+            rt.install(|| {
+                gemm::naive(black_box(&sparse_a), Trans::N, black_box(&b), Trans::N).unwrap()
+            })
+        })
     });
     group.bench_function("half_sparse/zero_skip", |bch| {
         bch.iter(|| matmul_with_zero_skip(black_box(&sparse_a), black_box(&b), n, n, n))
@@ -119,12 +157,10 @@ fn write_json(c: &Criterion) {
 }
 
 fn main() {
-    let mut criterion = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500));
+    let mut criterion = sdc_bench::bench_criterion();
     bench_scoring_by_threads(&mut criterion);
     bench_matmul_by_threads(&mut criterion);
+    bench_blocked_vs_naive(&mut criterion);
     bench_zero_skip_branch(&mut criterion);
     write_json(&criterion);
 }

@@ -95,10 +95,7 @@ fn write_json(c: &Criterion) {
 }
 
 fn main() {
-    let mut criterion = Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500));
+    let mut criterion = sdc_bench::bench_criterion();
     bench_serve_round_by_streams(&mut criterion);
     bench_uncoalesced_baseline(&mut criterion);
     write_json(&criterion);

@@ -1,0 +1,134 @@
+//! CI bench-regression gate.
+//!
+//! ```text
+//! bench_gate --baseline OLD.json --current NEW.json \
+//!            [--family matmul] [--max-regression 0.25]
+//! ```
+//!
+//! Compares every benchmark whose id contains `--family` and exists in
+//! both files; exits non-zero if any is more than `--max-regression`
+//! slower than the baseline. Abstains (exit 0, with a notice) when the
+//! two files record different `host_parallelism` — cross-host ns/iter
+//! are not comparable.
+
+use sdc_bench::gate::{gate, parse_bench_json, GateOutcome};
+use std::process::ExitCode;
+
+struct Args {
+    baseline: String,
+    current: String,
+    family: String,
+    max_regression: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut family = "matmul".to_string();
+    let mut max_regression = 0.25;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} requires a value"));
+        match flag.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--current" => current = Some(value("--current")?),
+            "--family" => family = value("--family")?,
+            "--max-regression" => {
+                max_regression = value("--max-regression")?
+                    .parse()
+                    .map_err(|e| format!("--max-regression: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("--baseline is required")?,
+        current: current.ok_or("--current is required")?,
+        family,
+        max_regression,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => Ok(parse_bench_json(&text)),
+        Err(e) => Err(format!("cannot read {path}: {e}")),
+    };
+    let (base, cur) = match (read(&args.baseline), read(&args.current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match gate(&base, &cur, &args.family) {
+        GateOutcome::SkippedHostMismatch { baseline, current } => {
+            // Deliberately exit 0: ns/iter from different host classes
+            // are not comparable, so failing here would only punish
+            // runner changes. But say loudly that NO comparison ran —
+            // the gate is unarmed until someone commits a baseline
+            // generated on this runner class (the regenerated JSON is
+            // uploaded as a workflow artifact for exactly that).
+            println!(
+                "bench_gate: SKIPPED, NO COMPARISON RAN — host_parallelism differs \
+                 (baseline {baseline:?}, current {current:?}).\n\
+                 bench_gate: the regression gate is UNARMED for this runner class; \
+                 to arm it, re-baseline by committing a BENCH json produced on a \
+                 host with matching parallelism (CI uploads one as the 'bench-json' \
+                 artifact)."
+            );
+            ExitCode::SUCCESS
+        }
+        GateOutcome::Compared { comparisons, missing_from_current } => {
+            if comparisons.is_empty() && missing_from_current.is_empty() {
+                eprintln!(
+                    "bench_gate: no '{}' benchmarks in the baseline — \
+                     refusing to pass an empty comparison",
+                    args.family
+                );
+                return ExitCode::FAILURE;
+            }
+            let mut failed = false;
+            println!(
+                "bench_gate: family '{}', threshold +{:.0}% vs {}",
+                args.family,
+                args.max_regression * 100.0,
+                args.baseline
+            );
+            for c in &comparisons {
+                let verdict = if c.regressed(args.max_regression) {
+                    failed = true;
+                    "REGRESSED"
+                } else if c.ratio <= 1.0 {
+                    "ok (faster)"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "  {:<40} {:>12.1} -> {:>12.1} ns/iter  ({:+.1}%)  {verdict}",
+                    c.id,
+                    c.baseline_ns,
+                    c.current_ns,
+                    (c.ratio - 1.0) * 100.0
+                );
+            }
+            for id in &missing_from_current {
+                failed = true;
+                println!("  {id:<40} present in baseline but MISSING from current run");
+            }
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+    }
+}

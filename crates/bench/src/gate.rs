@@ -1,0 +1,232 @@
+//! The CI bench-regression gate.
+//!
+//! Compares a freshly generated `BENCH_*.json` against the checked-in
+//! baseline and fails when a benchmark family regresses beyond a
+//! threshold. Comparisons only run when both files were produced on a
+//! host with the same `host_parallelism` — ns/iter from hosts with
+//! different core counts are not comparable (a flat thread-scaling
+//! curve on a 1-core container is expected, not a regression).
+//!
+//! The JSON is the fixed format emitted by the benches in
+//! `crates/bench/benches/` (one `{"id", "ns_per_iter", ...}` object per
+//! line); parsing is a small line scanner so the gate needs no JSON
+//! dependency.
+
+/// One benchmark measurement from a `BENCH_*.json` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Full benchmark id (`group/function`).
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// A parsed `BENCH_*.json` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchFile {
+    /// Every benchmark entry, in file order.
+    pub benchmarks: Vec<Entry>,
+    /// The `host_parallelism` the file records, if present.
+    pub host_parallelism: Option<u64>,
+}
+
+impl BenchFile {
+    /// Looks up an entry by exact id.
+    pub fn get(&self, id: &str) -> Option<&Entry> {
+        self.benchmarks.iter().find(|e| e.id == id)
+    }
+}
+
+/// Extracts the string value following `"<key>": "` on `line`.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts the numeric value following `"<key>": ` on `line`.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Parses the bench JSON format written by `crates/bench/benches/*`.
+///
+/// Unrecognized lines are ignored, so metadata additions do not break
+/// older gates; entries whose `ns_per_iter` fails to parse (e.g. `NaN`
+/// from an interrupted run) are dropped.
+pub fn parse_bench_json(text: &str) -> BenchFile {
+    let mut benchmarks = Vec::new();
+    let mut host_parallelism = None;
+    for line in text.lines() {
+        if let Some(id) = str_field(line, "id") {
+            if let Some(ns) = num_field(line, "ns_per_iter") {
+                if ns.is_finite() {
+                    benchmarks.push(Entry { id, ns_per_iter: ns });
+                }
+            }
+        } else if let Some(hp) = num_field(line, "host_parallelism") {
+            host_parallelism = Some(hp as u64);
+        }
+    }
+    BenchFile { benchmarks, host_parallelism }
+}
+
+/// One id compared by the gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Benchmark id present in both files.
+    pub id: String,
+    /// Baseline ns/iter.
+    pub baseline_ns: f64,
+    /// Current ns/iter.
+    pub current_ns: f64,
+    /// `current / baseline`; > 1 means slower than baseline.
+    pub ratio: f64,
+}
+
+impl Comparison {
+    /// Whether this id regressed beyond `max_regression`
+    /// (e.g. `0.25` = fail when more than 25% slower).
+    pub fn regressed(&self, max_regression: f64) -> bool {
+        self.ratio > 1.0 + max_regression
+    }
+}
+
+/// The gate's verdict over one baseline/current file pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateOutcome {
+    /// Hosts differ (or a file lacks `host_parallelism`); ns/iter are
+    /// not comparable and the gate abstains.
+    SkippedHostMismatch {
+        /// Baseline `host_parallelism`, if recorded.
+        baseline: Option<u64>,
+        /// Current `host_parallelism`, if recorded.
+        current: Option<u64>,
+    },
+    /// Hosts match; every baseline family id was either compared or
+    /// reported missing.
+    Compared {
+        /// Family ids present in both files, with their ratios.
+        comparisons: Vec<Comparison>,
+        /// Family ids in the baseline but absent from the current file
+        /// (renamed, crashed before measuring, or dropped as `NaN`).
+        /// A vanished benchmark must fail the gate, not slip past it.
+        missing_from_current: Vec<String>,
+    },
+}
+
+/// Compares every baseline benchmark whose id contains `family`
+/// against the current file; baseline family ids missing from the
+/// current file are reported separately rather than silently dropped.
+/// Returns [`GateOutcome::SkippedHostMismatch`] when the two files'
+/// `host_parallelism` disagree or either is missing.
+pub fn gate(baseline: &BenchFile, current: &BenchFile, family: &str) -> GateOutcome {
+    match (baseline.host_parallelism, current.host_parallelism) {
+        (Some(b), Some(c)) if b == c => {}
+        (b, c) => return GateOutcome::SkippedHostMismatch { baseline: b, current: c },
+    }
+    let mut comparisons = Vec::new();
+    let mut missing_from_current = Vec::new();
+    for base in baseline.benchmarks.iter().filter(|e| e.id.contains(family)) {
+        match current.get(&base.id) {
+            Some(cur) => comparisons.push(Comparison {
+                id: base.id.clone(),
+                baseline_ns: base.ns_per_iter,
+                current_ns: cur.ns_per_iter,
+                ratio: cur.ns_per_iter / base.ns_per_iter,
+            }),
+            None => missing_from_current.push(base.id.clone()),
+        }
+    }
+    GateOutcome::Compared { comparisons, missing_from_current }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "benchmarks": [
+    {"id": "runtime_matmul_256/1", "ns_per_iter": 2000000.0},
+    {"id": "runtime_matmul_256/2", "ns_per_iter": 2100000.5},
+    {"id": "runtime_scoring/1", "ns_per_iter": 46871469.2},
+    {"id": "serve_round/4", "ns_per_iter": 45353696.2, "requests_per_sec": 88.2},
+    {"id": "broken", "ns_per_iter": NaN}
+  ],
+  "host_parallelism": 4
+}
+"#;
+
+    #[test]
+    fn parses_ids_ns_and_host_parallelism() {
+        let f = parse_bench_json(SAMPLE);
+        assert_eq!(f.host_parallelism, Some(4));
+        assert_eq!(f.benchmarks.len(), 4, "NaN entry dropped");
+        assert_eq!(f.get("runtime_matmul_256/2").unwrap().ns_per_iter, 2100000.5);
+        // Trailing fields after ns_per_iter don't confuse the scanner.
+        assert_eq!(f.get("serve_round/4").unwrap().ns_per_iter, 45353696.2);
+    }
+
+    fn file(entries: &[(&str, f64)], host: Option<u64>) -> BenchFile {
+        BenchFile {
+            benchmarks: entries
+                .iter()
+                .map(|(id, ns)| Entry { id: id.to_string(), ns_per_iter: *ns })
+                .collect(),
+            host_parallelism: host,
+        }
+    }
+
+    #[test]
+    fn gate_compares_family_ids_and_reports_missing_ones() {
+        let base = file(&[("matmul/1", 100.0), ("matmul/2", 100.0), ("scoring/1", 100.0)], Some(1));
+        let cur = file(&[("matmul/1", 110.0), ("scoring/1", 500.0)], Some(1));
+        match gate(&base, &cur, "matmul") {
+            GateOutcome::Compared { comparisons, missing_from_current } => {
+                assert_eq!(comparisons.len(), 1, "scoring is not family");
+                assert_eq!(comparisons[0].id, "matmul/1");
+                assert!((comparisons[0].ratio - 1.1).abs() < 1e-9);
+                assert!(!comparisons[0].regressed(0.25));
+                assert!(comparisons[0].regressed(0.05));
+                // A baseline id that vanished from the current run must
+                // be surfaced, not silently dropped.
+                assert_eq!(missing_from_current, vec!["matmul/2".to_string()]);
+            }
+            other => panic!("expected comparison, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_flags_regressions_past_threshold() {
+        let base = file(&[("matmul/1", 100.0)], Some(2));
+        let cur = file(&[("matmul/1", 126.0)], Some(2));
+        match gate(&base, &cur, "matmul") {
+            GateOutcome::Compared { comparisons, .. } => assert!(comparisons[0].regressed(0.25)),
+            other => panic!("{other:?}"),
+        }
+        let faster = file(&[("matmul/1", 60.0)], Some(2));
+        match gate(&base, &faster, "matmul") {
+            GateOutcome::Compared { comparisons, .. } => {
+                assert!(!comparisons[0].regressed(0.25));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_abstains_across_host_parallelism_changes() {
+        let base = file(&[("matmul/1", 100.0)], Some(1));
+        let cur = file(&[("matmul/1", 1000.0)], Some(8));
+        assert_eq!(
+            gate(&base, &cur, "matmul"),
+            GateOutcome::SkippedHostMismatch { baseline: Some(1), current: Some(8) }
+        );
+        let no_host = file(&[("matmul/1", 100.0)], None);
+        assert!(matches!(gate(&no_host, &cur, "matmul"), GateOutcome::SkippedHostMismatch { .. }));
+    }
+}

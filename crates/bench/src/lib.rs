@@ -3,9 +3,12 @@
 //! Shared fixtures for the Criterion micro-benchmarks. The benches back
 //! the paper's runtime claims: scoring overhead per batch (Table I's
 //! "Relative Batch Time" column), the lazy-scoring reduction, and the
-//! per-policy replacement cost.
+//! per-policy replacement cost. The [`gate`] module implements the CI
+//! bench-regression gate over the generated `BENCH_*.json` files.
 
 #![warn(missing_docs)]
+
+pub mod gate;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,6 +19,34 @@ use sdc_data::synth::{SynthConfig, SynthDataset};
 use sdc_data::Sample;
 use sdc_nn::models::EncoderConfig;
 use sdc_tensor::Tensor;
+
+/// Environment variable that switches the benches into CI smoke mode.
+pub const SMOKE_ENV: &str = "SDC_BENCH_SMOKE";
+
+/// Whether [`SMOKE_ENV`] requests the short CI smoke mode (set and not
+/// `0`/empty).
+pub fn smoke_mode() -> bool {
+    std::env::var(SMOKE_ENV).is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The measurement configuration shared by every bench binary: the
+/// usual 10-sample/2 s setup, or a 3-sample/300 ms smoke setup when
+/// `SDC_BENCH_SMOKE=1`. Smoke numbers are noisier — the CI gate's 25%
+/// threshold accounts for that.
+pub fn bench_criterion() -> criterion::Criterion {
+    use std::time::Duration;
+    if smoke_mode() {
+        criterion::Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(300))
+            .warm_up_time(Duration::from_millis(100))
+    } else {
+        criterion::Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(500))
+    }
+}
 
 /// A small but non-trivial model for benchmarking.
 pub fn bench_model() -> ContrastiveModel {

@@ -654,6 +654,11 @@ impl Graph {
                 }
                 vec![(x.0, g.clone()), (b.0, gb)]
             }
+            // Gradient products run on the blocked gemm kernels; the
+            // transposed operand of each `matmul_tn`/`matmul_nt` is
+            // read through the packer's strided view, so backward
+            // allocates no transposed copies of activations or
+            // upstream gradients.
             Op::Matmul(a, b) => {
                 let ga = matmul_nt(g, &self.nodes[b.0].value)?;
                 let gb = matmul_tn(&self.nodes[a.0].value, g)?;

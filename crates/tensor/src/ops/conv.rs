@@ -1,5 +1,12 @@
 //! 2-D convolution kernels via im2col / col2im.
 //!
+//! The GEMM at the centre of the im2col path (`cols · Wᵀ`, plus the
+//! `gᵀ · cols` / `g · W` products in backward) runs on the blocked,
+//! operand-packing kernels in [`ops::gemm`](super::gemm) once the
+//! product crosses the size threshold; the weight matrix is read
+//! through the packer's strided view, so no transpose of `W` is ever
+//! materialized.
+//!
 //! The unfold/fold loops and the layout rearrangements parallelize over
 //! disjoint output regions (patch rows for `im2col`, per-sample channel
 //! images for `col2im`) on the `sdc-runtime` pool; every element is

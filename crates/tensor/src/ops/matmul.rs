@@ -1,33 +1,36 @@
 //! Dense matrix-multiplication kernels.
 //!
 //! These are the plain-value kernels; differentiable wrappers live on
-//! [`Graph`](crate::Graph). All kernels use an `i-k-j` loop order so the
-//! innermost loop walks both operands contiguously.
+//! [`Graph`](crate::Graph). All three entry points route through
+//! [`ops::gemm`](super::gemm): products above
+//! [`gemm::BLOCK_MIN_WORK`] run the
+//! cache-blocked, operand-packing kernel with its fixed-width
+//! [`MR`](super::gemm::MR)×[`NR`](super::gemm::NR) micro-kernel;
+//! smaller ones run the naive `i-k-j` loops. Both paths are
+//! **bit-identical** (same per-element reduction order, ascending `k`,
+//! one accumulator per output element), so the size dispatch never
+//! changes results — see the `gemm` module docs for the argument and
+//! `crates/tensor/tests/gemm_equivalence.rs` for the enforcement.
 //!
-//! Large multiplications split their output rows into fixed-size chunks
-//! executed on the `sdc-runtime` pool. Each output element's reduction
-//! runs in ascending-`k` order inside exactly one chunk, so parallel
-//! results are bit-identical to serial at every thread count.
+//! Large multiplications split their output into tile-row chunks of
+//! [`MC`](super::gemm::MC) rows executed on the `sdc-runtime` pool.
+//! Each output element's reduction runs in ascending-`k` order inside
+//! exactly one chunk, so parallel results are bit-identical to serial
+//! at every thread count.
 //!
 //! Unlike the original kernels, zero `A` elements are **not** skipped:
 //! the data-dependent branch mispredicts on dense inputs (measured in
 //! `crates/bench/benches/runtime.rs`). This also changes non-finite
 //! semantics: `0 · ∞` now yields `NaN` per IEEE 754 instead of the
 //! skip's silent `0`, i.e. a non-finite operand is no longer masked by
-//! a structural zero on the other side.
+//! a structural zero on the other side. The packed path preserves
+//! these semantics exactly: its zero-padded edge lanes can internally
+//! produce `0 · ∞ = NaN`, but padded lanes are discarded on store and
+//! never folded into a real output element.
 
+use super::gemm::{self, Trans};
 use crate::error::{Result, TensorError};
-use crate::par;
 use crate::Tensor;
-
-/// Runs `fill(first_row, rows_slice)` over `out` (an `n × m` row-major
-/// buffer) either serially or in fixed [`par::ROW_CHUNK`]-row chunks on
-/// the worker pool, based on `work`.
-fn dispatch_rows(out: &mut [f32], m: usize, work: usize, fill: impl Fn(usize, &mut [f32]) + Sync) {
-    par::dispatch_chunks(out, par::ROW_CHUNK * m, work, |chunk_index, rows| {
-        fill(chunk_index * par::ROW_CHUNK, rows);
-    });
-}
 
 /// `C = A · B` for `A: (n, k)`, `B: (k, m)`.
 ///
@@ -36,90 +39,36 @@ fn dispatch_rows(out: &mut [f32], m: usize, work: usize, fill: impl Fn(usize, &m
 /// Returns an error if either operand is not rank-2 or the inner
 /// dimensions disagree.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (n, k) = a.shape().as_matrix().ok_or_else(|| rank_err("matmul", a))?;
-    let (kb, m) = b.shape().as_matrix().ok_or_else(|| rank_err("matmul", b))?;
-    if k != kb {
-        return Err(TensorError::ShapeMismatch {
-            op: "matmul",
-            lhs: a.shape().clone(),
-            rhs: b.shape().clone(),
-        });
-    }
-    let mut out = Tensor::zeros([n, m]);
-    let ad = a.data();
-    let bd = b.data();
-    // No zero-skip on `aip`: the data-dependent branch mispredicts on
-    // dense inputs and costs more than the multiply-adds it saves (see
-    // crates/bench/benches/runtime.rs for the measurement).
-    dispatch_rows(out.data_mut(), m, n * k * m, |first_row, rows| {
-        for (r, orow) in rows.chunks_mut(m).enumerate() {
-            let i = first_row + r;
-            let arow = &ad[i * k..(i + 1) * k];
-            for (p, &aip) in arow.iter().enumerate() {
-                let brow = &bd[p * m..(p + 1) * m];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += aip * bv;
-                }
-            }
-        }
-    });
-    Ok(out)
+    gemm::gemm("matmul", a, Trans::N, b, Trans::N)
 }
 
 /// `C = A · Bᵀ` for `A: (n, k)`, `B: (m, k)`.
+///
+/// `B` is read through the packer's strided view — no transpose is
+/// materialized on the blocked path.
 ///
 /// # Errors
 ///
 /// Returns an error if either operand is not rank-2 or the shared
 /// dimension disagrees.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (n, k) = a.shape().as_matrix().ok_or_else(|| rank_err("matmul_nt", a))?;
-    let (m, kb) = b.shape().as_matrix().ok_or_else(|| rank_err("matmul_nt", b))?;
-    if k != kb {
-        return Err(TensorError::ShapeMismatch {
-            op: "matmul_nt",
-            lhs: a.shape().clone(),
-            rhs: b.shape().clone(),
-        });
-    }
-    let mut out = Tensor::zeros([n, m]);
-    let ad = a.data();
-    let bd = b.data();
-    dispatch_rows(out.data_mut(), m, n * k * m, |first_row, rows| {
-        for (r, orow) in rows.chunks_mut(m).enumerate() {
-            let i = first_row + r;
-            let arow = &ad[i * k..(i + 1) * k];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &bd[j * k..(j + 1) * k];
-                *o = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
-            }
-        }
-    });
-    Ok(out)
+    gemm::gemm("matmul_nt", a, Trans::N, b, Trans::T)
 }
 
 /// `C = Aᵀ · B` for `A: (k, n)`, `B: (k, m)` — used by backward passes.
+///
+/// On the blocked path `A` is packed straight from its transposed
+/// storage, so (unlike the previous kernel) no `O(nk)` transposed copy
+/// is allocated. Per output element the accumulation is still
+/// ascending-`k` with one accumulator, so the result is bit-identical
+/// to the transpose-then-multiply form.
 ///
 /// # Errors
 ///
 /// Returns an error if either operand is not rank-2 or the shared
 /// dimension disagrees.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    let (k, _n) = a.shape().as_matrix().ok_or_else(|| rank_err("matmul_tn", a))?;
-    let (kb, _m) = b.shape().as_matrix().ok_or_else(|| rank_err("matmul_tn", b))?;
-    if k != kb {
-        return Err(TensorError::ShapeMismatch {
-            op: "matmul_tn",
-            lhs: a.shape().clone(),
-            rhs: b.shape().clone(),
-        });
-    }
-    // Transpose once (O(nk)), then run the plain row-parallel kernel
-    // with contiguous reads. Per output element the accumulation is
-    // still ascending-`p`, so the result is bit-identical to the
-    // direct `p`-outer form — without its strided column gathers.
-    let at = transpose(a)?;
-    matmul(&at, b)
+    gemm::gemm("matmul_tn", a, Trans::T, b, Trans::N)
 }
 
 /// Transpose of a rank-2 tensor.
@@ -128,7 +77,11 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Returns an error if the operand is not rank-2.
 pub fn transpose(a: &Tensor) -> Result<Tensor> {
-    let (n, m) = a.shape().as_matrix().ok_or_else(|| rank_err("transpose", a))?;
+    let (n, m) = a.shape().as_matrix().ok_or_else(|| TensorError::RankMismatch {
+        op: "transpose",
+        expected: 2,
+        actual: a.shape().clone(),
+    })?;
     let mut out = Tensor::zeros([m, n]);
     let ad = a.data();
     let od = out.data_mut();
@@ -138,10 +91,6 @@ pub fn transpose(a: &Tensor) -> Result<Tensor> {
         }
     }
     Ok(out)
-}
-
-fn rank_err(op: &'static str, t: &Tensor) -> TensorError {
-    TensorError::RankMismatch { op, expected: 2, actual: t.shape().clone() }
 }
 
 #[cfg(test)]
@@ -211,5 +160,20 @@ mod tests {
         let eye = t([2, 2], &[1.0, 0.0, 0.0, 1.0]);
         assert_eq!(matmul(&a, &eye).unwrap(), a);
         assert_eq!(matmul(&eye, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn large_matmul_takes_blocked_path_and_matches_reference() {
+        // 64³ is past BLOCK_MIN_WORK; the public entry point must agree
+        // bitwise with the naive reference there.
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+        let a = Tensor::randn([64, 64], 1.0, &mut rng);
+        let b = Tensor::randn([64, 64], 1.0, &mut rng);
+        const { assert!(64 * 64 * 64 >= gemm::BLOCK_MIN_WORK) };
+        let got = matmul(&a, &b).unwrap();
+        let want = gemm::naive(&a, Trans::N, &b, Trans::N).unwrap();
+        for (x, y) in got.data().iter().zip(want.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 }

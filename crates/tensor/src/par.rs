@@ -33,13 +33,16 @@ pub(crate) fn parallelize(work: usize) -> bool {
 /// `fill(0, buf)` serially (the fill functions iterate their piece in
 /// fixed sub-units, so the serial call covers the whole buffer).
 ///
+/// Generic over the element type so the gemm path can fill
+/// `MaybeUninit<f32>` buffers without a prior zero pass.
+///
 /// Degenerate buffers (empty, or a zero chunk from a zero-width
 /// dimension) have nothing to fill and return immediately.
-pub(crate) fn dispatch_chunks(
-    buf: &mut [f32],
+pub(crate) fn dispatch_chunks<T: Send>(
+    buf: &mut [T],
     chunk: usize,
     work: usize,
-    fill: impl Fn(usize, &mut [f32]) + Sync,
+    fill: impl Fn(usize, &mut [T]) + Sync,
 ) {
     if buf.is_empty() || chunk == 0 {
         return;
