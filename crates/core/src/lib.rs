@@ -65,4 +65,4 @@ pub use policy::{
     ReplacementOutcome, ReplacementPolicy, SelectiveBackpropPolicy,
 };
 pub use score::{contrast_scores, contrast_scores_shared, top_k_indices};
-pub use trainer::{StepReport, StreamTrainer, TrainerConfig};
+pub use trainer::{StepReport, StreamTrainer, TrainerConfig, UpdateTiming};

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::policy::ReplacementOutcome;
+use crate::trainer::StepReport;
 
 /// An online mean accumulator.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -47,15 +47,21 @@ pub struct SelectionStats {
     retention: RunningMean,
     replace_nanos: RunningMean,
     update_nanos: RunningMean,
+    #[serde(default)]
+    forward_nanos: RunningMean,
+    #[serde(default)]
+    backward_nanos: RunningMean,
 }
 
 impl SelectionStats {
     /// Records one step.
-    pub fn record(&mut self, outcome: &ReplacementOutcome, replace_nanos: u64, update_nanos: u64) {
-        self.rescoring.push(outcome.rescoring_fraction() as f64);
-        self.retention.push(outcome.retention_fraction() as f64);
-        self.replace_nanos.push(replace_nanos as f64);
-        self.update_nanos.push(update_nanos as f64);
+    pub fn record(&mut self, report: &StepReport) {
+        self.rescoring.push(report.outcome.rescoring_fraction() as f64);
+        self.retention.push(report.outcome.retention_fraction() as f64);
+        self.replace_nanos.push(report.replace_nanos as f64);
+        self.update_nanos.push(report.update_nanos as f64);
+        self.forward_nanos.push(report.forward_nanos as f64);
+        self.backward_nanos.push(report.backward_nanos as f64);
     }
 
     /// Mean fraction of the buffer re-scored per iteration
@@ -79,6 +85,16 @@ impl SelectionStats {
         self.update_nanos.mean()
     }
 
+    /// Mean nanoseconds per forward tape build (subset of the update).
+    pub fn mean_forward_nanos(&self) -> f64 {
+        self.forward_nanos.mean()
+    }
+
+    /// Mean nanoseconds per backward sweep (subset of the update).
+    pub fn mean_backward_nanos(&self) -> f64 {
+        self.backward_nanos.mean()
+    }
+
     /// Batch time relative to training without any scoring — the Table I
     /// "Relative Batch Time" column (1.0 = no overhead).
     pub fn relative_batch_time(&self) -> f64 {
@@ -99,6 +115,7 @@ impl SelectionStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::ReplacementOutcome;
 
     #[test]
     fn running_mean_basics() {
@@ -120,11 +137,21 @@ mod tests {
             retained_from_buffer: 3,
             scoring_forward_samples: 12,
         };
-        s.record(&outcome, 100, 400);
-        s.record(&outcome, 300, 400);
+        let report = |replace_nanos: u64| StepReport {
+            loss: 1.0,
+            outcome,
+            replace_nanos,
+            update_nanos: 400,
+            forward_nanos: 150,
+            backward_nanos: 200,
+        };
+        s.record(&report(100));
+        s.record(&report(300));
         assert!((s.mean_rescoring_fraction() - 0.5).abs() < 1e-9);
         assert!((s.mean_retention_fraction() - 0.75).abs() < 1e-9);
         assert!((s.relative_batch_time() - 1.5).abs() < 1e-9);
+        assert_eq!(s.mean_forward_nanos(), 150.0);
+        assert_eq!(s.mean_backward_nanos(), 200.0);
         assert_eq!(s.steps(), 2);
     }
 

@@ -70,8 +70,26 @@ pub struct StepReport {
     pub outcome: ReplacementOutcome,
     /// Wall-clock nanoseconds spent in data replacement (scoring).
     pub replace_nanos: u64,
-    /// Wall-clock nanoseconds spent in the model update.
+    /// Wall-clock nanoseconds spent in the model update (augmentation +
+    /// forward + backward + optimizer).
     pub update_nanos: u64,
+    /// Nanoseconds of `update_nanos` spent building the forward tape
+    /// (encoder/projector forward through the NT-Xent loss).
+    pub forward_nanos: u64,
+    /// Nanoseconds of `update_nanos` spent in the level-scheduled
+    /// `Graph::backward` reverse sweep.
+    pub backward_nanos: u64,
+}
+
+/// Wall-clock breakdown of one model update; both spans are subsets of
+/// [`StepReport::update_nanos`] (augmentation and the optimizer step
+/// make up the remainder).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpdateTiming {
+    /// Nanoseconds building the forward tape.
+    pub forward_nanos: u64,
+    /// Nanoseconds in `Graph::backward`.
+    pub backward_nanos: u64,
 }
 
 /// The on-device self-supervised trainer: policy + buffer + model +
@@ -178,11 +196,19 @@ impl StreamTrainer {
 
         let t_update = Instant::now();
         let samples = self.buffer.samples();
-        let loss = self.update_on(&samples)?;
+        let (loss, timing) = self.update_on_timed(&samples)?;
         let update_nanos = t_update.elapsed().as_nanos() as u64;
 
-        self.stats.record(&outcome, replace_nanos, update_nanos);
-        Ok(StepReport { loss, outcome, replace_nanos, update_nanos })
+        let report = StepReport {
+            loss,
+            outcome,
+            replace_nanos,
+            update_nanos,
+            forward_nanos: timing.forward_nanos,
+            backward_nanos: timing.backward_nanos,
+        };
+        self.stats.record(&report);
+        Ok(report)
     }
 
     /// One optimizer update on an explicit mini-batch, bypassing the
@@ -202,6 +228,19 @@ impl StreamTrainer {
     /// Returns an error on an empty batch, and propagates model and
     /// shape errors.
     pub fn update_on(&mut self, samples: &[Sample]) -> Result<f32> {
+        self.update_on_timed(samples).map(|(loss, _)| loss)
+    }
+
+    /// [`StreamTrainer::update_on`] plus a wall-clock breakdown of the
+    /// forward tape build and the backward sweep — the two spans
+    /// [`StepReport`] surfaces as `forward_nanos`/`backward_nanos` so
+    /// the level scheduler's effect is measurable per step.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an empty batch, and propagates model and
+    /// shape errors.
+    pub fn update_on_timed(&mut self, samples: &[Sample]) -> Result<(f32, UpdateTiming)> {
         // Two independently strongly augmented views of the mini-batch.
         let view1: Vec<Tensor> =
             samples.iter().map(|s| self.augmentation.apply(&s.image, &mut self.rng)).collect();
@@ -210,6 +249,7 @@ impl StreamTrainer {
         let v1 = stack_image_tensors(&view1)?;
         let v2 = stack_image_tensors(&view2)?;
 
+        let t_forward = Instant::now();
         let mut graph = Graph::new();
         let mut bindings = Bindings::new();
         let loss_id = {
@@ -225,13 +265,18 @@ impl StreamTrainer {
             let z2 = ctx.graph.l2_normalize_rows(p2)?;
             nt_xent_loss(ctx.graph, z1, z2, self.config.temperature)?
         };
+        let forward_nanos = t_forward.elapsed().as_nanos() as u64;
+
+        let t_backward = Instant::now();
         graph.backward(loss_id)?;
+        let backward_nanos = t_backward.elapsed().as_nanos() as u64;
+
         self.model.store.zero_grads();
         bindings.accumulate_grads(&graph, &mut self.model.store);
         self.optimizer.step(&mut self.model.store);
 
         self.iteration += 1;
-        Ok(graph.value(loss_id).item())
+        Ok((graph.value(loss_id).item(), UpdateTiming { forward_nanos, backward_nanos }))
     }
 
     /// Convenience driver: consumes `iterations` segments of

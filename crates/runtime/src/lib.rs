@@ -226,6 +226,13 @@ impl Runtime {
     pub fn par_for(&self, n: usize, chunk: usize, body: impl Fn(Range<usize>) + Sync) {
         self.pool.par_for(n, chunk, body);
     }
+
+    /// Instance form of [`par_map`]. The pool is also installed as the
+    /// ambient runtime for the duration, so dispatch nested inside
+    /// `body` stays on it.
+    pub fn par_map<R: Send>(&self, n: usize, body: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        self.install(|| par_map(n, body))
+    }
 }
 
 impl Pool {
@@ -397,6 +404,29 @@ pub fn par_reduce<T: Send>(
         .fold(identity(), &mut fold)
 }
 
+/// Runs `body(i)` for every index in `0..n` — one pool job per index,
+/// so this is the primitive for **coarse-grained** fan-out (whole graph
+/// nodes, whole requests), not tight element loops — and returns the
+/// results in index order.
+///
+/// Result order depends only on `n`, never on the thread count or on
+/// which worker ran which job, so callers that fold the returned vector
+/// in order inherit the determinism contract for free.
+pub fn par_map<R: Send>(n: usize, body: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    {
+        let slots = SendPtr(out.as_mut_ptr());
+        par_for(n, 1, |range| {
+            for i in range {
+                let value = body(i);
+                // Soundness: each index writes exactly one distinct slot.
+                unsafe { slots.get().add(i).write(Some(value)) };
+            }
+        });
+    }
+    out.into_iter().map(|r| r.expect("every job produced a result")).collect()
+}
+
 /// A raw pointer that asserts cross-thread transferability; used to hand
 /// disjoint regions of one allocation to parallel chunk bodies.
 struct SendPtr<T>(*mut T);
@@ -548,6 +578,49 @@ mod tests {
             });
             assert_eq!(hits.load(Ordering::SeqCst), 3);
         });
+    }
+
+    #[test]
+    fn par_map_returns_results_in_index_order() {
+        for threads in [1, 2, 3, 7] {
+            let rt = Runtime::new(threads);
+            let got = rt.par_map(53, |i| i * i);
+            let want: Vec<usize> = (0..53).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single_jobs() {
+        let rt = Runtime::new(4);
+        assert_eq!(rt.par_map(0, |_| -> usize { panic!("no jobs expected") }), vec![]);
+        assert_eq!(rt.par_map(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn par_map_jobs_can_dispatch_nested_work() {
+        let rt = Runtime::new(3);
+        let sums = rt.par_map(6, |i| {
+            par_reduce(64, 8, || 0u64, |r| r.map(|j| (i * 64 + j) as u64).sum(), |a, b| a + b)
+        });
+        for (i, s) in sums.iter().enumerate() {
+            let want: u64 = (0..64).map(|j| (i * 64 + j) as u64).sum();
+            assert_eq!(*s, want);
+        }
+    }
+
+    #[test]
+    fn par_map_panic_propagates_and_drops_cleanly() {
+        let rt = Runtime::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            rt.par_map(32, |i| {
+                assert!(i != 17, "job {i} exploded");
+                vec![i; 4]
+            })
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("assert message preserved");
+        assert!(msg.contains("job 17 exploded"), "{msg}");
     }
 
     #[test]

@@ -2,10 +2,16 @@
 //!
 //! A [`Graph`] is a write-once tape: every operation appends a node whose
 //! parents are earlier nodes, so node indices are already a topological
-//! order and [`Graph::backward`] is a single reverse sweep. Graphs are
-//! intended to be built fresh for every training step and dropped
-//! afterwards; parameters live outside the graph and are re-inserted as
-//! leaves each step.
+//! order. [`Graph::backward`] runs the reverse sweep **level-scheduled**:
+//! a one-pass dependency analysis assigns every reachable node its
+//! longest-path distance from the loss, and all nodes sharing a level —
+//! which by construction cannot depend on one another — run their
+//! gradient computation concurrently on the `sdc-runtime` pool (see
+//! [`sched`](self) internals). Results are bit-identical to the retained
+//! serial reference ([`Graph::backward_serial`]) at every thread count.
+//! Graphs are intended to be built fresh for every training step and
+//! dropped afterwards; parameters live outside the graph and are
+//! re-inserted as leaves each step.
 //!
 //! ```
 //! use sdc_tensor::{Graph, Tensor};
@@ -42,6 +48,8 @@ use crate::ops::reduce::{
 };
 use crate::ops::softmax::{log_softmax_backward, log_softmax_forward, nll_backward, nll_forward};
 use crate::{Shape, Tensor};
+
+mod sched;
 
 /// Handle to a node in a [`Graph`].
 ///
@@ -93,6 +101,69 @@ enum Op {
     MeanRows(VarId),
     SumCols(VarId),
     Dropout { x: VarId, mask: Vec<bool>, scale: f32 },
+}
+
+impl Op {
+    /// Invokes `f` with the tape index of every parent this node sends a
+    /// gradient contribution to in [`Graph::backward`] (duplicates
+    /// included when one input is used twice).
+    ///
+    /// The level scheduler derives its dependency analysis from this
+    /// enumeration, so it must stay in sync with the contribution
+    /// targets `backward_node` emits: the exhaustive match makes a new
+    /// op variant a compile error here rather than a scheduling bug.
+    fn for_each_parent(&self, mut f: impl FnMut(usize)) {
+        match self {
+            Op::Leaf => {}
+            Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::Matmul(a, b)
+            | Op::MatmulNt(a, b)
+            | Op::Div(a, b)
+            | Op::Concat0 { a, b, .. }
+            | Op::AddBias { x: a, b } => {
+                f(a.0);
+                f(b.0);
+            }
+            Op::Scale(x, _)
+            | Op::AddScalar(x)
+            | Op::Transpose(x)
+            | Op::Relu(x)
+            | Op::GlobalAvgPool(x)
+            | Op::Reshape(x)
+            | Op::LogSoftmax(x)
+            | Op::MeanAll(x)
+            | Op::SumAll(x)
+            | Op::Exp(x)
+            | Op::Sqrt(x)
+            | Op::Tanh(x)
+            | Op::Sigmoid(x)
+            | Op::SumRows(x)
+            | Op::MeanRows(x)
+            | Op::SumCols(x)
+            | Op::MaxPool2d { x, .. }
+            | Op::AvgPool2d { x, .. }
+            | Op::L2NormalizeRows { x, .. }
+            | Op::MaskedFill { x, .. }
+            | Op::Dropout { x, .. }
+            | Op::Clamp { x, .. }
+            | Op::Ln { x, .. } => f(x.0),
+            Op::NllLoss { logp: x, .. } => f(x.0),
+            Op::Conv2d { x, w, b, .. } => {
+                f(x.0);
+                f(w.0);
+                if let Some(b) = b {
+                    f(b.0);
+                }
+            }
+            Op::BatchNorm2d { x, gamma, beta, .. } => {
+                f(x.0);
+                f(gamma.0);
+                f(beta.0);
+            }
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -593,13 +664,21 @@ impl Graph {
         Ok(self.push(Op::Dropout { x, mask: keep_mask, scale }, value))
     }
 
-    /// Runs the reverse sweep from `loss`, accumulating gradients on every
-    /// node that (transitively) feeds it.
+    /// Clears every gradient slot on the tape.
     ///
-    /// # Errors
-    ///
-    /// Returns an error if `loss` is not a single-element node.
-    pub fn backward(&mut self, loss: VarId) -> Result<()> {
+    /// Both backward entry points call this before seeding the loss, so
+    /// re-sweeping a tape starts from a clean slate instead of silently
+    /// accumulating into the previous sweep's gradients; it is public
+    /// for callers that want to drop gradient memory early.
+    pub fn clear_grads(&mut self) {
+        for node in &mut self.nodes {
+            node.grad = None;
+        }
+    }
+
+    /// Validates the loss node, discards any gradients left by a
+    /// previous sweep, and seeds `d loss / d loss = 1`.
+    fn seed_loss(&mut self, loss: VarId) -> Result<()> {
         if self.nodes[loss.0].value.len() != 1 {
             return Err(TensorError::InvalidArgument {
                 op: "backward",
@@ -609,11 +688,39 @@ impl Graph {
                 ),
             });
         }
+        self.clear_grads();
         let shape = self.nodes[loss.0].value.shape().clone();
         self.nodes[loss.0].grad = Some(Tensor::full(shape, 1.0));
+        Ok(())
+    }
+
+    /// The serial reverse sweep from `loss` — the reference
+    /// implementation the level-scheduled [`Graph::backward`] is tested
+    /// bit-for-bit against (`crates/tensor/tests/backward_equivalence.rs`).
+    ///
+    /// Semantics are identical to `backward`: stale gradients from a
+    /// previous sweep are cleared first, and an error mid-sweep clears
+    /// every gradient slot so callers can never observe a half-swept
+    /// tape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `loss` is not a single-element node, or if a
+    /// node's gradient computation fails (the tape then holds no
+    /// gradients at all).
+    pub fn backward_serial(&mut self, loss: VarId) -> Result<()> {
+        self.seed_loss(loss)?;
         for i in (0..=loss.0).rev() {
             let Some(g) = self.nodes[i].grad.take() else { continue };
-            let contribs = self.backward_node(i, &g)?;
+            let contribs = match self.backward_node(i, &g) {
+                Ok(contribs) => contribs,
+                Err(e) => {
+                    // A half-swept tape holds torn gradients; make the
+                    // failure state unambiguous instead.
+                    self.clear_grads();
+                    return Err(e);
+                }
+            };
             self.nodes[i].grad = Some(g);
             for (pid, t) in contribs {
                 self.accumulate(pid, t);
@@ -622,6 +729,7 @@ impl Graph {
         Ok(())
     }
 
+    /// Adds `t` into node `id`'s gradient slot (installing it if empty).
     fn accumulate(&mut self, id: usize, t: Tensor) {
         match &mut self.nodes[id].grad {
             Some(g) => g.add_assign_scaled(&t, 1.0),
@@ -643,15 +751,10 @@ impl Graph {
             Op::Scale(x, c) => vec![(x.0, g.map(|v| v * c))],
             Op::AddScalar(x) => vec![(x.0, g.clone())],
             Op::AddBias { x, b } => {
-                let (n, d) = g.shape().as_matrix().expect("validated in forward");
-                let mut gb = Tensor::zeros([d]);
-                let gd = g.data();
-                let gbd = gb.data_mut();
-                for r in 0..n {
-                    for j in 0..d {
-                        gbd[j] += gd[r * d + j];
-                    }
-                }
+                // The bias gradient is the column sum of the upstream
+                // gradient — the same kernel as the SumCols op, which
+                // chunks columns over the worker pool.
+                let gb = sum_cols_forward(g)?;
                 vec![(x.0, g.clone()), (b.0, gb)]
             }
             // Gradient products run on the blocked gemm kernels; the
@@ -915,5 +1018,68 @@ mod tests {
         let taken = g.take_grad(x).unwrap();
         assert_eq!(taken.data(), &[1.0, 1.0]);
         assert!(g.grad(x).is_none());
+    }
+
+    /// Regression: a second `backward` on the same tape used to re-seed
+    /// the loss but accumulate fresh contributions into the first
+    /// sweep's stale gradients, silently doubling every gradient.
+    #[test]
+    fn resweeping_a_tape_does_not_accumulate_stale_gradients() {
+        for serial in [false, true] {
+            let mut g = Graph::new();
+            let x = g.leaf(t2(&[1.0, 2.0, 3.0, 4.0]));
+            let y = g.scale(x, 3.0);
+            let s = g.add(y, y).unwrap();
+            let loss = g.mean_all(s);
+            g.backward(loss).unwrap();
+            let first = g.grad(x).unwrap().clone();
+            if serial {
+                g.backward_serial(loss).unwrap();
+            } else {
+                g.backward(loss).unwrap();
+            }
+            assert_eq!(
+                g.grad(x).unwrap().data(),
+                first.data(),
+                "re-sweep (serial={serial}) changed gradients"
+            );
+        }
+    }
+
+    #[test]
+    fn take_grad_then_resweep_restores_the_gradient() {
+        let mut g = Graph::new();
+        let x = g.leaf(t2(&[1.0, 2.0, 3.0, 4.0]));
+        let y = g.relu(x);
+        let loss = g.sum_all(y);
+        g.backward(loss).unwrap();
+        let taken = g.take_grad(x).unwrap();
+        g.backward(loss).unwrap();
+        assert_eq!(g.grad(x).unwrap().data(), taken.data());
+    }
+
+    /// An error mid-sweep must clear every gradient slot — callers can
+    /// never observe a half-swept tape with torn gradients.
+    #[test]
+    fn failed_sweep_leaves_no_torn_gradients() {
+        for serial in [false, true] {
+            let mut g = Graph::new();
+            let a = g.leaf(t2(&[1.0, 2.0, 3.0, 4.0]));
+            let b = g.leaf(t2(&[5.0, 6.0, 7.0, 8.0]));
+            let p = g.mul(a, b).unwrap();
+            let q = g.scale(p, 2.0);
+            let loss = g.sum_all(q);
+            // Corrupt a parent value so Mul's backward `zip_map` fails
+            // partway through the sweep (after Scale already ran).
+            g.nodes[b.0].value = Tensor::ones([3]);
+            let result = if serial { g.backward_serial(loss) } else { g.backward(loss) };
+            assert!(result.is_err(), "corrupted tape swept cleanly (serial={serial})");
+            for i in 0..g.len() {
+                assert!(
+                    g.grad(VarId(i)).is_none(),
+                    "node {i} holds a torn gradient (serial={serial})"
+                );
+            }
+        }
     }
 }

@@ -30,7 +30,8 @@
 //! * [`Tensor`] is a plain value (shape + `Vec<f32>`); cloning copies.
 //! * [`Graph`] is a write-once tape rebuilt every training step. Node
 //!   handles ([`VarId`]) index the tape, so the tape order is already a
-//!   topological order and backward is a single reverse sweep.
+//!   topological order; backward runs it as level-scheduled wavefronts
+//!   (independent nodes in parallel), bit-identical to the serial sweep.
 //! * Model parameters live *outside* the graph (see `sdc-nn`) and are
 //!   inserted as leaves each step; their gradients are read back after
 //!   [`Graph::backward`].

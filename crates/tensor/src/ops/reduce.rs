@@ -1,6 +1,7 @@
 //! Row reductions over rank-2 tensors.
 
 use crate::error::{Result, TensorError};
+use crate::par::{self, COL_CHUNK};
 use crate::Tensor;
 
 /// Sums each row of an `(n, d)` tensor into an `(n)` vector.
@@ -55,6 +56,12 @@ pub fn mean_rows_backward(gy: &Tensor, n: usize, d: usize) -> Tensor {
 
 /// Sums each *column* of an `(n, d)` tensor into a `(d)` vector.
 ///
+/// Columns are split into fixed `COL_CHUNK`-wide pieces on the
+/// worker pool (also serving `AddBias`'s bias gradient in
+/// `Graph::backward`); each column accumulates its rows in ascending
+/// order regardless of chunking, so the result is bit-identical at any
+/// thread count.
+///
 /// # Errors
 ///
 /// Returns an error if the input is not rank-2.
@@ -65,13 +72,17 @@ pub fn sum_cols_forward(x: &Tensor) -> Result<Tensor> {
         actual: x.shape().clone(),
     })?;
     let xd = x.data();
-    let mut data = vec![0.0f32; d];
-    for i in 0..n {
-        for (j, acc) in data.iter_mut().enumerate() {
-            *acc += xd[i * d + j];
+    let mut out = Tensor::zeros([d]);
+    par::dispatch_chunks(out.data_mut(), COL_CHUNK, n * d, |chunk_index, piece| {
+        let j0 = chunk_index * COL_CHUNK;
+        for i in 0..n {
+            let row = &xd[i * d + j0..i * d + j0 + piece.len()];
+            for (acc, &v) in piece.iter_mut().zip(row) {
+                *acc += v;
+            }
         }
-    }
-    Tensor::from_vec([d], data)
+    });
+    Ok(out)
 }
 
 /// Backward of [`sum_cols_forward`]: broadcasts each column's gradient

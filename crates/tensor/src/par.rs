@@ -21,6 +21,10 @@ pub(crate) const ROW_CHUNK: usize = 8;
 /// Elements per chunk for elementwise kernels.
 pub(crate) const ELEM_CHUNK: usize = 4096;
 
+/// Output columns per chunk for column-reduction kernels (`sum_cols`,
+/// bias gradients). Fixed for the same reason as [`ROW_CHUNK`].
+pub(crate) const COL_CHUNK: usize = 32;
+
 /// Whether a kernel performing `work` scalar operations should use the
 /// worker pool.
 pub(crate) fn parallelize(work: usize) -> bool {

@@ -1,0 +1,338 @@
+//! Level-scheduled backward equivalence: [`Graph::backward`] must be
+//! **bit-identical** to the retained serial sweep
+//! ([`Graph::backward_serial`]) on every node's gradient, at thread
+//! counts 1/2/7, over tape shapes chosen to stress the scheduler —
+//! diamond tapes (shared subexpressions feeding consumers at different
+//! wavefront levels), wide fan-out onto one gradient slot, conv/bn
+//! pipelines, `take_grad` mid-use, and re-swept tapes (the
+//! double-backward stale-gradient regression).
+//!
+//! CI runs this suite under `SDC_THREADS=7` like the gemm suite; the
+//! explicit `Runtime::install` scopes below make the thread counts
+//! independent of the environment either way.
+
+use proptest::prelude::*;
+use sdc_runtime::Runtime;
+use sdc_tensor::{Graph, Tensor, VarId};
+
+/// Thread counts exercised everywhere: serial, even, and an odd
+/// non-divisor of typical level widths.
+const THREADS: [usize; 3] = [1, 2, 7];
+
+fn rand_t(shape: impl Into<sdc_tensor::Shape>, seed: u64) -> Tensor {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    Tensor::randn(shape, 1.0, &mut rng)
+}
+
+/// Asserts `got` is bitwise equal to `want` (shape and every element).
+fn assert_bits_eq(got: &Tensor, want: &Tensor, ctx: &str) {
+    assert_eq!(got.shape(), want.shape(), "{ctx}: shape");
+    for (i, (x, y)) in got.data().iter().zip(want.data()).enumerate() {
+        assert!(x.to_bits() == y.to_bits(), "{ctx}: element {i} differs: {x} vs {y}");
+    }
+}
+
+/// Asserts every tracked node holds bitwise-identical gradients (or
+/// identically holds none — unreachable nodes must stay untouched).
+fn assert_same_grads(got: &Graph, want: &Graph, ids: &[VarId], ctx: &str) {
+    for (k, &id) in ids.iter().enumerate() {
+        match (got.grad(id), want.grad(id)) {
+            (None, None) => {}
+            (Some(a), Some(b)) => assert_bits_eq(a, b, &format!("{ctx}: node {k}")),
+            (a, b) => panic!(
+                "{ctx}: node {k} gradient presence differs: {} vs {}",
+                a.is_some(),
+                b.is_some()
+            ),
+        }
+    }
+}
+
+/// Builds the graph twice, runs the serial reference on one copy and
+/// the level scheduler on the other at every thread count, and compares
+/// all gradients bitwise.
+fn check_scheduler_vs_serial(build: impl Fn(&mut Graph) -> (VarId, Vec<VarId>), ctx: &str) {
+    let mut reference = Graph::new();
+    let (loss, ids) = build(&mut reference);
+    Runtime::new(1).install(|| reference.backward_serial(loss).unwrap());
+    for threads in THREADS {
+        let mut g = Graph::new();
+        let (loss_again, ids_again) = build(&mut g);
+        assert_eq!(loss_again, loss, "{ctx}: builder is not deterministic");
+        assert_eq!(ids_again, ids, "{ctx}: builder is not deterministic");
+        Runtime::new(threads).install(|| g.backward(loss).unwrap());
+        assert_same_grads(&g, &reference, &ids, &format!("{ctx} threads={threads}"));
+    }
+}
+
+/// Two encoder-style towers sharing no nodes until the contrastive
+/// head — the tape shape the level scheduler exists to overlap. With
+/// `n = 64`, `d = 128` the tower levels are wide enough to take the
+/// pool fan-out path, and the matmuls the blocked-gemm path.
+fn tower_pair(g: &mut Graph) -> (VarId, Vec<VarId>) {
+    let (n, d) = (64, 128);
+    let mut ids = Vec::new();
+    let track = |id: VarId, ids: &mut Vec<VarId>| {
+        ids.push(id);
+        id
+    };
+    let tower = |g: &mut Graph, ids: &mut Vec<VarId>, seed: u64| {
+        let x = track(g.leaf(rand_t([n, d], seed)), ids);
+        let w1 = track(g.leaf(rand_t([d, d], seed + 1)), ids);
+        let b1 = track(g.leaf(rand_t([d], seed + 2)), ids);
+        let w2 = track(g.leaf(rand_t([d, d], seed + 3)), ids);
+        let h = track(g.matmul(x, w1).unwrap(), ids);
+        let h = track(g.add_bias(h, b1).unwrap(), ids);
+        let h = track(g.relu(h), ids);
+        let p = track(g.matmul(h, w2).unwrap(), ids);
+        track(g.l2_normalize_rows(p).unwrap(), ids)
+    };
+    let z1 = tower(g, &mut ids, 100);
+    let z2 = tower(g, &mut ids, 200);
+    let sim = track(g.matmul_nt(z1, z2).unwrap(), &mut ids);
+    let lp = track(g.log_softmax(sim).unwrap(), &mut ids);
+    let loss = track(g.nll_loss(lp, (0..n).collect()).unwrap(), &mut ids);
+    (loss, ids)
+}
+
+/// A diamond with reconvergent paths of different lengths: shared
+/// subexpressions are consumed at *different* wavefront levels, so
+/// their gradient slots receive contributions across several level
+/// flushes — the ordering the scheduler must reproduce exactly.
+fn diamond(g: &mut Graph) -> (VarId, Vec<VarId>) {
+    let x = g.leaf(rand_t([4, 4], 7));
+    let y = g.leaf(rand_t([4, 4], 8));
+    let z = g.mul(x, y).unwrap();
+    let a = g.add(z, x).unwrap();
+    let b = g.mul(z, y).unwrap();
+    let c = g.sub(a, b).unwrap();
+    let d = g.tanh(c);
+    let e = g.mul(d, a).unwrap(); // `a` re-consumed two levels later
+    let f = g.add(e, x).unwrap(); // `x` consumed at three distinct levels
+    let loss = g.mean_all(f);
+    (loss, vec![x, y, z, a, b, c, d, e, f, loss])
+}
+
+/// One leaf fanned out to many consumers — some in the same level,
+/// some at different depths — so its gradient slot folds 6+ buffered
+/// contributions; floating-point order sensitivity makes any deviation
+/// from the serial accumulation order visible bitwise.
+fn wide_fanout(g: &mut Graph) -> (VarId, Vec<VarId>) {
+    let x = g.leaf(rand_t([8, 8], 21));
+    let mut ids = vec![x];
+    let mut acc = g.scale(x, 0.5);
+    ids.push(acc);
+    for k in 0..6 {
+        // Chains of varying length keep the consumers of `x` spread
+        // across levels; same-level consumers also exist (each `add`).
+        let mut t = g.scale(x, 0.1 + k as f32 * 0.3);
+        ids.push(t);
+        for _ in 0..k % 3 {
+            t = g.sigmoid(t);
+            ids.push(t);
+        }
+        acc = g.add(acc, t).unwrap();
+        ids.push(acc);
+    }
+    let loss = g.sum_all(acc);
+    ids.push(loss);
+    (loss, ids)
+}
+
+/// A conv → batch-norm → pool pipeline plus the long tail of ops the
+/// other builders skip (dropout, masked_fill, clamp, div, concat0,
+/// transpose, reshape, exp/ln/sqrt, row/col reductions).
+fn conv_and_misc_ops(g: &mut Graph) -> (VarId, Vec<VarId>) {
+    let mut ids = Vec::new();
+    let x = g.leaf(rand_t([2 * 3 * 8 * 8], 31).reshape([2, 3, 8, 8]).unwrap());
+    let w = g.leaf(rand_t([4 * 3 * 3 * 3], 32).reshape([4, 3, 3, 3]).unwrap());
+    let cb = g.leaf(rand_t([4], 33));
+    let gamma = g.leaf(rand_t([4], 34));
+    let beta = g.leaf(rand_t([4], 35));
+    ids.extend([x, w, cb, gamma, beta]);
+    let c = g.conv2d(x, w, Some(cb), 1, 1).unwrap();
+    let (bn, _) = g.batch_norm2d(c, gamma, beta, 1e-5, None).unwrap();
+    let r = g.relu(bn);
+    let mp = g.max_pool2d(r, 2, 2).unwrap();
+    let ap = g.avg_pool2d(mp, 2, 2).unwrap();
+    let gp = g.global_avg_pool(ap).unwrap();
+    ids.extend([c, bn, r, mp, ap, gp]);
+
+    let e = g.exp(gp);
+    let l = g.ln(e, 1e-6);
+    let s = g.sqrt(e);
+    let dv = g.div(l, s).unwrap();
+    let cl = g.clamp(dv, -2.0, 2.0).unwrap();
+    ids.extend([e, l, s, dv, cl]);
+
+    let cat = g.concat0(cl, gp).unwrap(); // (4, 4)
+    let t = g.transpose(cat).unwrap();
+    let re = g.reshape(t, [2, 8]).unwrap();
+    let mask: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
+    let mf = g.masked_fill(re, mask, 0.25).unwrap();
+    let keep: Vec<bool> = (0..16).map(|i| i % 4 != 1).collect();
+    let dr = g.dropout(mf, keep, 0.75).unwrap();
+    ids.extend([cat, t, re, mf, dr]);
+
+    let sr = g.sum_rows(dr).unwrap();
+    let mr = g.mean_rows(dr).unwrap();
+    let sc = g.sum_cols(dr).unwrap();
+    let sr2 = g.reshape(sr, [1, 2]).unwrap();
+    let mr2 = g.reshape(mr, [1, 2]).unwrap();
+    let joined = g.add(sr2, mr2).unwrap();
+    let js = g.sum_all(joined);
+    let cs = g.sum_all(sc);
+    let tot = g.add(js, cs).unwrap();
+    let scaled = g.add_scalar(tot, 0.125);
+    let loss = g.mean_all(scaled);
+    ids.extend([sr, mr, sc, sr2, mr2, joined, js, cs, tot, scaled, loss]);
+    (loss, ids)
+}
+
+#[test]
+fn tower_pair_matches_serial_bitwise() {
+    check_scheduler_vs_serial(tower_pair, "tower_pair");
+}
+
+#[test]
+fn diamond_tapes_match_serial_bitwise() {
+    check_scheduler_vs_serial(diamond, "diamond");
+}
+
+#[test]
+fn wide_fanout_matches_serial_bitwise() {
+    check_scheduler_vs_serial(wide_fanout, "wide_fanout");
+}
+
+#[test]
+fn conv_pipeline_and_misc_ops_match_serial_bitwise() {
+    check_scheduler_vs_serial(conv_and_misc_ops, "conv_and_misc_ops");
+}
+
+/// Regression for the stale-gradient bug: `backward` twice on one tape
+/// must equal `backward` once (the old sweep doubled every gradient on
+/// the second call by accumulating into the stale slots).
+#[test]
+fn double_backward_equals_single_backward() {
+    for threads in THREADS {
+        Runtime::new(threads).install(|| {
+            let mut reference = Graph::new();
+            let (loss, ids) = diamond(&mut reference);
+            reference.backward(loss).unwrap();
+
+            let mut g = Graph::new();
+            let (loss_again, _) = diamond(&mut g);
+            g.backward(loss_again).unwrap();
+            g.backward(loss_again).unwrap();
+            assert_same_grads(&g, &reference, &ids, &format!("double backward threads={threads}"));
+        });
+    }
+}
+
+/// `take_grad` between sweeps must not disturb a re-sweep: the second
+/// backward starts from cleared slots and reproduces every gradient,
+/// including the taken one.
+#[test]
+fn take_grad_mid_use_then_resweep_matches() {
+    for threads in THREADS {
+        Runtime::new(threads).install(|| {
+            let mut reference = Graph::new();
+            let (loss, ids) = wide_fanout(&mut reference);
+            reference.backward_serial(loss).unwrap();
+
+            let mut g = Graph::new();
+            let (loss_again, ids_again) = wide_fanout(&mut g);
+            g.backward(loss_again).unwrap();
+            let taken = g.take_grad(ids_again[0]).unwrap();
+            assert_bits_eq(&taken, reference.grad(ids[0]).unwrap(), "taken grad");
+            g.backward(loss_again).unwrap();
+            assert_same_grads(&g, &reference, &ids, &format!("take_grad threads={threads}"));
+        });
+    }
+}
+
+/// Mixing the two entry points across sweeps of one tape is also
+/// stable: serial-then-scheduled equals scheduled alone.
+#[test]
+fn serial_then_scheduled_resweep_matches() {
+    let mut reference = Graph::new();
+    let (loss, ids) = tower_pair(&mut reference);
+    Runtime::new(2).install(|| reference.backward(loss).unwrap());
+
+    let mut g = Graph::new();
+    let (loss_again, _) = tower_pair(&mut g);
+    Runtime::new(2).install(|| {
+        g.backward_serial(loss_again).unwrap();
+        g.backward(loss_again).unwrap();
+    });
+    assert_same_grads(&g, &reference, &ids, "serial-then-scheduled");
+}
+
+/// A tiny deterministic PRNG for the proptest DAG builder (avoids
+/// depending on any particular `rand` API surface for integers).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+        x ^= x >> 27;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Builds a random DAG of rank-2 `(6, 6)` ops with heavy node reuse —
+/// every op picks its inputs uniformly from all earlier nodes, so
+/// shared subexpressions and multi-level fan-in arise constantly.
+fn random_dag(seed: u64, ops: usize) -> impl Fn(&mut Graph) -> (VarId, Vec<VarId>) {
+    move |g: &mut Graph| {
+        let mut rng = XorShift(seed);
+        let mut ids = vec![
+            g.leaf(rand_t([6, 6], seed)),
+            g.leaf(rand_t([6, 6], seed + 1)),
+            g.leaf(rand_t([6, 6], seed + 2)),
+        ];
+        for _ in 0..ops {
+            let a = ids[rng.below(ids.len())];
+            let b = ids[rng.below(ids.len())];
+            let id = match rng.below(9) {
+                0 => g.add(a, b).unwrap(),
+                1 => g.sub(a, b).unwrap(),
+                2 => g.mul(a, b).unwrap(),
+                3 => g.matmul(a, b).unwrap(),
+                4 => g.matmul_nt(a, b).unwrap(),
+                5 => g.relu(a),
+                6 => g.tanh(a),
+                7 => g.sigmoid(a),
+                _ => g.scale(a, 0.5),
+            };
+            ids.push(id);
+        }
+        // Fold a few random picks into the loss so late nodes (and, by
+        // reuse, much of the tape) are reachable; the rest remain
+        // unreachable on purpose — both sweeps must leave them alone.
+        let mut acc = *ids.last().unwrap();
+        for _ in 0..3 {
+            acc = g.add(acc, ids[rng.below(ids.len())]).unwrap();
+            ids.push(acc);
+        }
+        let loss = g.mean_all(acc);
+        ids.push(loss);
+        (loss, ids)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_dags_match_serial_bitwise(seed in 0u64..10_000, ops in 4usize..40) {
+        check_scheduler_vs_serial(random_dag(seed, ops), &format!("dag seed={seed} ops={ops}"));
+    }
+}
