@@ -1,6 +1,8 @@
 //! The small on-device replay buffer `B`.
 
 use sdc_data::Sample;
+use sdc_persist::{Persist, PersistError, StateReader, StateWriter};
+use sdc_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 /// One buffered datum with its selection metadata.
@@ -109,6 +111,51 @@ impl ReplayBuffer {
     }
 }
 
+/// Snapshot capture of the full buffer: capacity plus every entry's
+/// sample, score bits, and age — the state the lazy-scoring schedule
+/// and top-N selection read, so a restored buffer replays replacements
+/// bit-identically. Restore validates the capacity against the target
+/// buffer (capacity is configuration, not state).
+impl Persist for ReplayBuffer {
+    fn save(&self, w: &mut StateWriter) {
+        w.put_u64(self.capacity as u64);
+        w.put_u64(self.entries.len() as u64);
+        for e in &self.entries {
+            e.sample.save(w);
+            w.put_f32(e.score);
+            w.put_u32(e.age);
+        }
+    }
+
+    fn load(&mut self, r: &mut StateReader) -> std::result::Result<(), PersistError> {
+        let capacity = r.get_u64()? as usize;
+        if capacity != self.capacity {
+            return Err(PersistError::StateMismatch {
+                message: format!(
+                    "snapshot buffer capacity {capacity}, this buffer holds {}",
+                    self.capacity
+                ),
+            });
+        }
+        let n = r.get_u64()? as usize;
+        if n > capacity {
+            return Err(PersistError::StateMismatch {
+                message: format!("snapshot holds {n} entries for capacity {capacity}"),
+            });
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut sample = Sample::new(Tensor::zeros([0]), 0, 0);
+            sample.load(r)?;
+            let score = r.get_f32()?;
+            let age = r.get_u32()?;
+            entries.push(BufferEntry { sample, score, age });
+        }
+        self.entries = entries;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +197,25 @@ mod tests {
         ]);
         assert_eq!(buf.class_histogram(3), vec![2, 0, 1]);
         assert_eq!(buf.class_coverage(3), 2);
+    }
+
+    #[test]
+    fn persist_roundtrip_restores_entries_scores_and_ages() {
+        let mut source = ReplayBuffer::new(3);
+        source.replace_all(vec![
+            BufferEntry { sample: sample(1, 10), score: 0.25, age: 2 },
+            BufferEntry { sample: sample(0, 11), score: -0.0, age: 0 },
+        ]);
+        let bytes = sdc_persist::save_state(&source);
+        let mut target = ReplayBuffer::new(3);
+        sdc_persist::load_state(&mut target, &bytes).unwrap();
+        assert_eq!(target.len(), 2);
+        assert_eq!(target.entries()[0].sample.id, 10);
+        assert_eq!(target.entries()[0].age, 2);
+        assert_eq!(target.entries()[1].score.to_bits(), (-0.0f32).to_bits());
+
+        let mut wrong_capacity = ReplayBuffer::new(4);
+        assert!(sdc_persist::load_state(&mut wrong_capacity, &bytes).is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! scoring (paper §III-B and §III-D).
 
 use sdc_data::Sample;
+use sdc_persist::{PersistError, StateReader, StateWriter};
 use sdc_tensor::{Result, TensorError};
 
 use super::{ReplacementOutcome, ReplacementPolicy};
@@ -165,6 +166,50 @@ impl ReplacementPolicy for ContrastScoringPolicy {
         incoming: Vec<Sample>,
     ) -> Result<ReplacementOutcome> {
         self.replace_with(buffer, incoming, |samples| contrast_scores(model, &samples))
+    }
+
+    /// The scoring policy's evolving state (scores, ages) lives in the
+    /// buffer entries; what is captured here is the schedule and
+    /// momentum configuration so a restore can **prove** the node
+    /// re-scores on the same cadence the snapshot was taken under —
+    /// `load_state` rejects drift rather than silently absorbing it.
+    fn save_state(&self, w: &mut StateWriter) {
+        match self.schedule.interval {
+            None => w.put_u32(0),
+            Some(t) => w.put_u32(t),
+        }
+        match self.momentum {
+            None => w.put_u8(0),
+            Some(alpha) => {
+                w.put_u8(1);
+                w.put_f32(alpha);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader) -> std::result::Result<(), PersistError> {
+        let interval = r.get_u32()?;
+        let momentum = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_f32()?),
+            other => {
+                return Err(PersistError::StateMismatch {
+                    message: format!("unknown momentum tag {other}"),
+                })
+            }
+        };
+        let saved =
+            if interval == 0 { LazySchedule::disabled() } else { LazySchedule::every(interval) };
+        if saved != self.schedule || momentum.map(f32::to_bits) != self.momentum.map(f32::to_bits) {
+            return Err(PersistError::StateMismatch {
+                message: format!(
+                    "snapshot policy configuration (schedule {saved:?}, momentum {momentum:?}) \
+                     differs from this instance's ({:?}, {:?})",
+                    self.schedule, self.momentum
+                ),
+            });
+        }
+        Ok(())
     }
 }
 

@@ -21,6 +21,7 @@ pub use random::RandomReplacePolicy;
 pub use selective_bp::SelectiveBackpropPolicy;
 
 use sdc_data::Sample;
+use sdc_persist::{PersistError, StateReader, StateWriter};
 use sdc_tensor::Result;
 use serde::{Deserialize, Serialize};
 
@@ -85,6 +86,30 @@ pub trait ReplacementPolicy: std::fmt::Debug + Send {
         buffer: &mut ReplayBuffer,
         incoming: Vec<Sample>,
     ) -> Result<ReplacementOutcome>;
+
+    /// Serializes the policy's mutable state (PRNG position, schedule
+    /// configuration, ...) for checkpointing. Stateless policies keep
+    /// the default, which writes nothing.
+    ///
+    /// These two hooks are the trait-object form of
+    /// [`sdc_persist::Persist`]: a trainer owns its policy as a
+    /// `Box<dyn ReplacementPolicy>`, so state capture must go through
+    /// the trait itself.
+    fn save_state(&self, w: &mut StateWriter) {
+        let _ = w;
+    }
+
+    /// Restores state written by [`ReplacementPolicy::save_state`] into
+    /// this policy instance. The default expects an empty payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncated/corrupt payloads or when the
+    /// payload was saved by a differently configured policy.
+    fn load_state(&mut self, r: &mut StateReader) -> std::result::Result<(), PersistError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Aggregated selection/runtime statistics (feeds the Table-I metrics).
 
+use sdc_persist::{Persist, PersistError, StateReader, StateWriter};
 use serde::{Deserialize, Serialize};
 
 use crate::trainer::StepReport;
@@ -35,6 +36,19 @@ impl RunningMean {
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+}
+
+impl Persist for RunningMean {
+    fn save(&self, w: &mut StateWriter) {
+        w.put_f64(self.sum);
+        w.put_u64(self.count);
+    }
+
+    fn load(&mut self, r: &mut StateReader) -> Result<(), PersistError> {
+        self.sum = r.get_f64()?;
+        self.count = r.get_u64()?;
+        Ok(())
     }
 }
 
@@ -109,6 +123,30 @@ impl SelectionStats {
     /// Number of recorded steps.
     pub fn steps(&self) -> u64 {
         self.rescoring.count()
+    }
+}
+
+/// Snapshot capture of every accumulator, bit-exact in `f64`, so a
+/// restored trainer's reported Table-I metrics continue the
+/// interrupted run's averages rather than restarting from zero.
+impl Persist for SelectionStats {
+    fn save(&self, w: &mut StateWriter) {
+        self.rescoring.save(w);
+        self.retention.save(w);
+        self.replace_nanos.save(w);
+        self.update_nanos.save(w);
+        self.forward_nanos.save(w);
+        self.backward_nanos.save(w);
+    }
+
+    fn load(&mut self, r: &mut StateReader) -> Result<(), PersistError> {
+        self.rescoring.load(r)?;
+        self.retention.load(r)?;
+        self.replace_nanos.load(r)?;
+        self.update_nanos.load(r)?;
+        self.forward_nanos.load(r)?;
+        self.backward_nanos.load(r)?;
+        Ok(())
     }
 }
 

@@ -13,6 +13,7 @@ use sdc_data::augment::{strong_augmentation, Augment, Compose};
 use sdc_data::{stack_image_tensors, Sample, SegmentSource};
 use sdc_nn::optim::{Adam, Optimizer};
 use sdc_nn::{Bindings, Forward};
+use sdc_persist::{Persist, PersistError, StateReader, StateWriter};
 use sdc_tensor::{Graph, Result, Tensor};
 
 use crate::buffer::ReplayBuffer;
@@ -302,6 +303,75 @@ impl StreamTrainer {
     }
 }
 
+/// Snapshot capture of the **full** trainer: model parameters and
+/// running statistics, Adam moments, the augmentation PRNG position,
+/// the replay buffer (scores and ages included), the iteration/seen
+/// counters, the aggregated statistics, and the policy's own state via
+/// [`ReplacementPolicy::save_state`]. Restoring into a trainer built
+/// from the same [`TrainerConfig`] and policy type resumes training
+/// **bit-identically** — the headline guarantee of the
+/// `checkpoint_resume` integration suite.
+///
+/// The load is transactional: every component is decoded and validated
+/// against scratch copies before anything on the live trainer mutates
+/// (the policy, a boxed trait object, is the one exception — it is
+/// restored last, so an earlier failure leaves the trainer untouched).
+impl Persist for StreamTrainer {
+    fn save(&self, w: &mut StateWriter) {
+        self.model.store.save(w);
+        self.optimizer.save(w);
+        for s in self.rng.state() {
+            w.put_u64(s);
+        }
+        self.buffer.save(w);
+        w.put_u64(self.iteration);
+        w.put_u64(self.seen);
+        self.stats.save(w);
+        // The policy payload is tagged with the policy's name so a
+        // restore into a differently-typed policy is rejected before
+        // load_state can misparse the bytes (and mutate the policy).
+        w.put_str(self.policy.name());
+        let mut policy = StateWriter::new();
+        self.policy.save_state(&mut policy);
+        w.put_bytes(&policy.into_bytes());
+    }
+
+    fn load(&mut self, r: &mut StateReader) -> std::result::Result<(), PersistError> {
+        let mut store = self.model.store.clone();
+        store.load(r)?;
+        let mut optimizer = self.optimizer.clone();
+        optimizer.load(r)?;
+        let rng = [r.get_u64()?, r.get_u64()?, r.get_u64()?, r.get_u64()?];
+        let mut buffer = self.buffer.clone();
+        buffer.load(r)?;
+        let iteration = r.get_u64()?;
+        let seen = r.get_u64()?;
+        let mut stats = self.stats;
+        stats.load(r)?;
+        let policy_name = r.get_str()?;
+        if policy_name != self.policy.name() {
+            return Err(PersistError::StateMismatch {
+                message: format!(
+                    "snapshot policy is {policy_name:?}, this trainer runs {:?}",
+                    self.policy.name()
+                ),
+            });
+        }
+        let policy_bytes = r.get_bytes()?;
+        let mut policy_reader = StateReader::new(&policy_bytes);
+        self.policy.load_state(&mut policy_reader)?;
+        policy_reader.finish()?;
+        self.model.store = store;
+        self.optimizer = optimizer;
+        self.rng = StdRng::from_state(rng);
+        self.buffer = buffer;
+        self.iteration = iteration;
+        self.seen = seen;
+        self.stats = stats;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +457,68 @@ mod tests {
         cfg.learning_rate = 1e-3;
         cfg.scale_lr_for_buffer(16);
         assert!((cfg.learning_rate - 2e-3).abs() < 1e-9);
+    }
+
+    /// The single-process form of the headline guarantee: train N
+    /// steps, checkpoint, restore into a fresh trainer, continue M
+    /// steps — bit-identical to an uninterrupted N+M run (losses,
+    /// weights, buffer contents, and policy/augmentation RNG draws).
+    #[test]
+    fn persist_resume_is_bit_identical_to_uninterrupted_run() {
+        for policy in ["contrast", "random"] {
+            let make_policy = || -> Box<dyn ReplacementPolicy> {
+                match policy {
+                    "contrast" => Box::new(ContrastScoringPolicy::with_schedule(
+                        crate::lazy::LazySchedule::every(2),
+                    )),
+                    _ => Box::new(RandomReplacePolicy::new(5)),
+                }
+            };
+            let fingerprint = |t: &StreamTrainer| {
+                let weights: Vec<u32> = t
+                    .model()
+                    .store
+                    .params()
+                    .iter()
+                    .flat_map(|p| p.value.data().iter().map(|v| v.to_bits()))
+                    .collect();
+                let entries: Vec<(u64, u32, u32)> = t
+                    .buffer()
+                    .entries()
+                    .iter()
+                    .map(|e| (e.sample.id, e.score.to_bits(), e.age))
+                    .collect();
+                (weights, entries, t.iteration(), t.seen())
+            };
+
+            // Uninterrupted reference: 6 steps straight through.
+            let mut reference = StreamTrainer::new(tiny_config(), make_policy());
+            let mut ref_stream = tiny_stream(8);
+            reference.run(&mut ref_stream, 6, |_, _| {}).unwrap();
+
+            // Interrupted run: 3 steps, checkpoint, fresh trainer +
+            // stream restored from bytes, 3 more steps.
+            let mut first = StreamTrainer::new(tiny_config(), make_policy());
+            let mut stream = tiny_stream(8);
+            first.run(&mut stream, 3, |_, _| {}).unwrap();
+            let trainer_bytes = sdc_persist::save_state(&first);
+            let stream_bytes = sdc_persist::save_state(&stream);
+            drop(first);
+            drop(stream);
+
+            let mut resumed = StreamTrainer::new(tiny_config(), make_policy());
+            sdc_persist::load_state(&mut resumed, &trainer_bytes).unwrap();
+            let mut resumed_stream = tiny_stream(8);
+            sdc_persist::load_state(&mut resumed_stream, &stream_bytes).unwrap();
+            resumed.run(&mut resumed_stream, 3, |_, _| {}).unwrap();
+
+            assert_eq!(
+                fingerprint(&resumed),
+                fingerprint(&reference),
+                "{policy}: resumed run diverged from the uninterrupted one"
+            );
+            assert_eq!(resumed.stats().steps(), 6, "stats accumulators resume too");
+        }
     }
 
     #[test]

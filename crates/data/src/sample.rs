@@ -1,6 +1,7 @@
 //! Stream samples: an image plus ground-truth metadata.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sdc_persist::{Persist, PersistError, StateReader, StateWriter};
 use sdc_tensor::{Result, Shape, Tensor, TensorError};
 use serde::{Deserialize, Serialize};
 
@@ -75,6 +76,25 @@ impl Sample {
         need(&bytes, n * 4)?;
         let data: Vec<f32> = (0..n).map(|_| bytes.get_f32_le()).collect();
         Ok(Self { image: Tensor::from_vec(shape, data)?, label, id })
+    }
+}
+
+/// Snapshot capture of one sample (id, label, image), bit-exact. Unlike
+/// the other [`Persist`] impls, `load` fully overwrites `self` — a
+/// sample is pure data with no configured layout to validate against
+/// (replay-buffer restore rebuilds entries from a placeholder).
+impl Persist for Sample {
+    fn save(&self, w: &mut StateWriter) {
+        w.put_u64(self.id);
+        w.put_u64(self.label as u64);
+        w.put_tensor(&self.image);
+    }
+
+    fn load(&mut self, r: &mut StateReader) -> std::result::Result<(), PersistError> {
+        self.id = r.get_u64()?;
+        self.label = r.get_u64()? as usize;
+        self.image = r.get_tensor()?;
+        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use sdc_persist::{Persist, PersistError, StateReader, StateWriter};
 use sdc_tensor::Result;
 
 use crate::sample::Sample;
@@ -115,6 +116,61 @@ impl TemporalStream {
     }
 }
 
+/// Snapshot capture of the stream *cursor*: the PRNG position, the run
+/// bookkeeping (`current_class`, `remaining_in_run`, `emitted`), and
+/// the dataset's sample-id counter (the one piece of mutable dataset
+/// state — synthesis itself is a pure function of class and the
+/// cursor's RNG). Restoring the cursor into a stream built over the
+/// same dataset configuration and STC resumes the exact sample
+/// sequence, ids included; STC and class count are validated to catch
+/// configuration drift.
+impl Persist for TemporalStream {
+    fn save(&self, w: &mut StateWriter) {
+        w.put_u64(self.stc as u64);
+        w.put_u64(self.dataset.num_classes() as u64);
+        for s in self.rng.state() {
+            w.put_u64(s);
+        }
+        w.put_u64(self.current_class as u64);
+        w.put_u64(self.remaining_in_run as u64);
+        w.put_u64(self.emitted);
+        w.put_u64(self.dataset.id_cursor());
+    }
+
+    fn load(&mut self, r: &mut StateReader) -> std::result::Result<(), PersistError> {
+        let stc = r.get_u64()? as usize;
+        let classes = r.get_u64()? as usize;
+        if stc != self.stc || classes != self.dataset.num_classes() {
+            return Err(PersistError::StateMismatch {
+                message: format!(
+                    "stream cursor was saved for stc {stc} / {classes} classes, this stream has \
+                     stc {} / {} classes",
+                    self.stc,
+                    self.dataset.num_classes()
+                ),
+            });
+        }
+        let state = [r.get_u64()?, r.get_u64()?, r.get_u64()?, r.get_u64()?];
+        let current_class = r.get_u64()? as usize;
+        let remaining_in_run = r.get_u64()? as usize;
+        let emitted = r.get_u64()?;
+        if current_class >= classes || remaining_in_run > stc {
+            return Err(PersistError::StateMismatch {
+                message: format!(
+                    "cursor fields out of range: class {current_class}, run {remaining_in_run}"
+                ),
+            });
+        }
+        let id_cursor = r.get_u64()?;
+        self.rng = StdRng::from_state(state);
+        self.current_class = current_class;
+        self.remaining_in_run = remaining_in_run;
+        self.emitted = emitted;
+        self.dataset.set_id_cursor(id_cursor);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +224,34 @@ mod tests {
         let c: Vec<usize> =
             stream(4, 10).next_segment(40).unwrap().iter().map(|s| s.label).collect();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn persisted_cursor_resumes_the_exact_sample_sequence() {
+        let mut original = stream(3, 11);
+        original.next_segment(10).unwrap(); // advance mid-run
+        let bytes = sdc_persist::save_state(&original);
+        let tail = original.next_segment(20).unwrap();
+
+        let mut resumed = stream(3, 999); // wrong seed: cursor overrides
+        sdc_persist::load_state(&mut resumed, &bytes).unwrap();
+        assert_eq!(resumed.emitted(), 10);
+        let resumed_tail = resumed.next_segment(20).unwrap();
+        for (a, b) in tail.iter().zip(&resumed_tail) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.id, b.id);
+            for (x, y) in a.image.data().iter().zip(b.image.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "resumed pixels diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_restore_rejects_configuration_drift() {
+        let original = stream(3, 1);
+        let bytes = sdc_persist::save_state(&original);
+        let mut wrong_stc = stream(5, 1);
+        assert!(sdc_persist::load_state(&mut wrong_stc, &bytes).is_err());
     }
 
     #[test]

@@ -112,6 +112,19 @@ impl SynthDataset {
         self.config.classes
     }
 
+    /// The next sample id this dataset will assign — the id counter is
+    /// mutable dataset state (everything else is pure configuration),
+    /// so checkpointing code must capture it alongside stream cursors.
+    pub fn id_cursor(&self) -> u64 {
+        self.next_id.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Repositions the id counter (checkpoint restore). Clones share
+    /// the counter, so this repositions every clone of this dataset.
+    pub fn set_id_cursor(&self, next: u64) {
+        self.next_id.store(next, std::sync::atomic::Ordering::SeqCst);
+    }
+
     /// The prototype of a class (for inspection/testing).
     ///
     /// # Panics

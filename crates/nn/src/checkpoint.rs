@@ -5,6 +5,13 @@
 //! module serializes every parameter and buffer (names, shapes, values —
 //! gradients are transient and excluded) without any external format
 //! dependency.
+//!
+//! This is the *compact legacy* format (`SDC1`, u32 lengths, no
+//! checksums) kept for existing on-device spools. Full-node
+//! checkpointing uses the checksummed `sdc-persist` container instead
+//! (`ParamStore` also implements [`sdc_persist::Persist`]); if a
+//! bounds-checking fix lands in this file's `Reader`, check whether
+//! `sdc_persist::StateReader` needs the twin fix, and vice versa.
 
 use sdc_tensor::{Result, Shape, Tensor, TensorError};
 
@@ -37,8 +44,12 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        if self.pos + n > self.bytes.len() {
+        if n > self.remaining() {
             return Err(TensorError::InvalidArgument {
                 op: "checkpoint_load",
                 message: "truncated checkpoint".into(),
@@ -49,13 +60,35 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// Validates a declared element count against the remaining bytes
+    /// **before** any allocation is sized from it — a hostile count
+    /// field must be rejected, not handed to `Vec::with_capacity`.
+    fn checked_count(&self, count: usize, min_elem_bytes: usize) -> Result<usize> {
+        let plausible = (count as u64)
+            .checked_mul(min_elem_bytes as u64)
+            .is_some_and(|total| total <= self.remaining() as u64);
+        if plausible {
+            Ok(count)
+        } else {
+            Err(TensorError::InvalidArgument {
+                op: "checkpoint_load",
+                message: format!(
+                    "declared count {count} (x at least {min_elem_bytes} bytes) exceeds the {} \
+                     remaining bytes",
+                    self.remaining()
+                ),
+            })
+        }
+    }
+
     fn u32(&mut self) -> Result<u32> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn string(&mut self) -> Result<String> {
-        let len = self.u32()? as usize;
+        let len = self.len_field()?;
+        let len = self.checked_count(len, 1)?;
         let b = self.take(len)?;
         String::from_utf8(b.to_vec()).map_err(|_| TensorError::InvalidArgument {
             op: "checkpoint_load",
@@ -63,12 +96,27 @@ impl<'a> Reader<'a> {
         })
     }
 
+    fn len_field(&mut self) -> Result<usize> {
+        self.u32().map(|v| v as usize)
+    }
+
     fn tensor(&mut self) -> Result<Tensor> {
-        let rank = self.u32()? as usize;
+        // Each dim costs 4 bytes on the wire, so rank is bounded by the
+        // remaining input; the range-collect below reserves `rank`
+        // slots up front and must never be fed an unchecked count.
+        let rank = self.len_field()?;
+        let rank = self.checked_count(rank, 4)?;
         let dims: Vec<usize> =
             (0..rank).map(|_| self.u32().map(|v| v as usize)).collect::<Result<_>>()?;
+        let mut elements = 1u64;
+        for &d in &dims {
+            elements = elements.checked_mul(d as u64).ok_or(TensorError::InvalidArgument {
+                op: "checkpoint_load",
+                message: "tensor element count overflows".into(),
+            })?;
+        }
+        let n = self.checked_count(elements as usize, 4)?;
         let shape = Shape::new(dims);
-        let n = shape.num_elements();
         let raw = self.take(n * 4)?;
         let data =
             raw.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
@@ -212,6 +260,80 @@ mod tests {
         assert!(load_store(&mut target, &bytes[..bytes.len() - 5]).is_err());
         // Failed load must leave the store untouched.
         assert_eq!(target.params()[0].value, before);
+    }
+
+    #[test]
+    fn every_truncation_point_is_rejected_cleanly() {
+        let source = store_with_content(6);
+        let bytes = save_store(&source);
+        for cut in 0..bytes.len() {
+            let mut target = store_with_content(6);
+            assert!(load_store(&mut target, &bytes[..cut]).is_err(), "cut at {cut} loaded");
+        }
+    }
+
+    /// Fuzz-style: random multi-byte corruptions must never panic or
+    /// over-allocate — every outcome is `Ok` (the flip hit tensor data
+    /// or was masked by validation order) or a typed `Err`.
+    #[test]
+    fn random_corruptions_never_panic() {
+        use rand::RngExt;
+        let source = store_with_content(7);
+        let bytes = save_store(&source);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..500 {
+            let mut corrupt = bytes.clone();
+            for _ in 0..rng.random_range(1usize..=4) {
+                let i = rng.random_range(0..corrupt.len());
+                corrupt[i] = rng.random::<u32>() as u8;
+            }
+            let mut target = store_with_content(7);
+            let _ = load_store(&mut target, &corrupt);
+        }
+    }
+
+    /// A length field pointing far past the input must be rejected
+    /// before any allocation is sized from it.
+    #[test]
+    fn hostile_length_fields_are_rejected_before_allocating() {
+        let mut target = store_with_content(8);
+
+        // Param count of u32::MAX: over-allocating `Vec::with_capacity`
+        // from it would abort the process before validation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(load_store(&mut target, &bytes).is_err());
+
+        // Name length far past the input.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        put_u32(&mut bytes, target.params().len() as u32);
+        put_u32(&mut bytes, u32::MAX); // name length
+        assert!(load_store(&mut target, &bytes).is_err());
+
+        // Tensor rank of u32::MAX: the dims collect reserves rank slots.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        put_u32(&mut bytes, target.params().len() as u32);
+        put_str(&mut bytes, "layer.weight");
+        put_u32(&mut bytes, u32::MAX); // rank
+        assert!(load_store(&mut target, &bytes).is_err());
+
+        // Dims whose product overflows u64.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        put_u32(&mut bytes, target.params().len() as u32);
+        put_str(&mut bytes, "layer.weight");
+        put_u32(&mut bytes, 3); // rank
+        for _ in 0..3 {
+            put_u32(&mut bytes, u32::MAX);
+        }
+        assert!(load_store(&mut target, &bytes).is_err());
+
+        // Every rejection left the store untouched.
+        let pristine = store_with_content(8);
+        assert_eq!(target.params()[0].value, pristine.params()[0].value);
     }
 
     #[test]

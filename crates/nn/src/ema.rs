@@ -6,6 +6,7 @@
 //! momentum-smoothed). This tracker lets downstream users score with an
 //! EMA model — a natural extension of the paper's framework.
 
+use sdc_persist::{Persist, PersistError, StateReader, StateWriter};
 use sdc_tensor::{Result, TensorError};
 
 use crate::param::ParamStore;
@@ -82,6 +83,29 @@ impl EmaTracker {
     }
 }
 
+/// Snapshot capture of the tracker: decay factor plus the full shadow
+/// store, bit-exactly. Restore into a tracker built over the same model
+/// architecture (the shadow's layout is validated by the
+/// [`ParamStore`] restore).
+impl Persist for EmaTracker {
+    fn save(&self, w: &mut StateWriter) {
+        w.put_f32(self.momentum);
+        self.shadow.save(w);
+    }
+
+    fn load(&mut self, r: &mut StateReader) -> std::result::Result<(), PersistError> {
+        let momentum = r.get_f32()?;
+        if !(0.0..1.0).contains(&momentum) {
+            return Err(PersistError::StateMismatch {
+                message: format!("EMA momentum {momentum} out of [0, 1)"),
+            });
+        }
+        self.shadow.load(r)?;
+        self.momentum = momentum;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +152,28 @@ mod tests {
         other.add_param("x", Tensor::zeros([1]));
         let mut ema = EmaTracker::new(&store(0.0), 0.5);
         assert!(ema.update(&other).is_err());
+    }
+
+    #[test]
+    fn persist_roundtrip_restores_shadow_and_decay() {
+        let live = store(1.0);
+        let mut ema = EmaTracker::new(&store(0.0), 0.9);
+        ema.update(&live).unwrap();
+        let bytes = sdc_persist::save_state(&ema);
+        let mut restored = EmaTracker::new(&store(7.0), 0.5);
+        sdc_persist::load_state(&mut restored, &bytes).unwrap();
+        assert_eq!(restored.momentum(), 0.9);
+        assert_eq!(
+            restored.shadow().params()[0].value.data()[0].to_bits(),
+            ema.shadow().params()[0].value.data()[0].to_bits()
+        );
+        // Continued updates stay in lockstep with the original.
+        ema.update(&live).unwrap();
+        restored.update(&live).unwrap();
+        assert_eq!(
+            restored.shadow().params()[0].value.data()[0].to_bits(),
+            ema.shadow().params()[0].value.data()[0].to_bits()
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! forward/backward, then pulls gradients back into the store where the
 //! optimizer consumes them.
 
+use sdc_persist::{Persist, PersistError, StateReader, StateWriter};
 use sdc_tensor::{Graph, Tensor, VarId};
 use serde::{Deserialize, Serialize};
 
@@ -142,6 +143,81 @@ impl ParamStore {
     }
 }
 
+/// Snapshot capture of a store's parameters and buffers (names, shapes,
+/// values; gradients are transient and reset to zero on restore).
+///
+/// [`Persist::load`] restores *values* into an existing store with the
+/// same layout — the same contract as
+/// [`checkpoint::load_store`](crate::checkpoint::load_store): entry
+/// counts, names, and shapes must match or the load is rejected with a
+/// [`PersistError::StateMismatch`] and the store is left untouched.
+impl Persist for ParamStore {
+    fn save(&self, w: &mut StateWriter) {
+        w.put_u64(self.params.len() as u64);
+        for p in &self.params {
+            w.put_str(&p.name);
+            w.put_tensor(&p.value);
+        }
+        w.put_u64(self.buffers.len() as u64);
+        for b in &self.buffers {
+            w.put_str(&b.name);
+            w.put_tensor(&b.value);
+        }
+    }
+
+    fn load(&mut self, r: &mut StateReader) -> Result<(), PersistError> {
+        // Decode and validate everything before mutating anything, so a
+        // failure cannot leave the store half-restored.
+        let n_params = r.get_u64()? as usize;
+        if n_params != self.params.len() {
+            return Err(PersistError::StateMismatch {
+                message: format!("snapshot has {n_params} params, store has {}", self.params.len()),
+            });
+        }
+        let mut params = Vec::with_capacity(n_params);
+        for i in 0..n_params {
+            let name = r.get_str()?;
+            let value = r.get_tensor()?;
+            let p = &self.params[i];
+            if p.name != name || p.value.shape() != value.shape() {
+                return Err(PersistError::StateMismatch {
+                    message: format!("param {i} mismatch: store has {}, snapshot {name}", p.name),
+                });
+            }
+            params.push(value);
+        }
+        let n_buffers = r.get_u64()? as usize;
+        if n_buffers != self.buffers.len() {
+            return Err(PersistError::StateMismatch {
+                message: format!(
+                    "snapshot has {n_buffers} buffers, store has {}",
+                    self.buffers.len()
+                ),
+            });
+        }
+        let mut buffers = Vec::with_capacity(n_buffers);
+        for i in 0..n_buffers {
+            let name = r.get_str()?;
+            let value = r.get_tensor()?;
+            let b = &self.buffers[i];
+            if b.name != name || b.value.shape() != value.shape() {
+                return Err(PersistError::StateMismatch {
+                    message: format!("buffer {i} mismatch: store has {}, snapshot {name}", b.name),
+                });
+            }
+            buffers.push(value);
+        }
+        for (p, value) in self.params.iter_mut().zip(params) {
+            p.grad = Tensor::zeros(value.shape().clone());
+            p.value = value;
+        }
+        for (b, value) in self.buffers.iter_mut().zip(buffers) {
+            b.value = value;
+        }
+        Ok(())
+    }
+}
+
 /// Per-step mapping from parameters to the graph leaves they were bound
 /// to, used to read gradients back after the reverse sweep.
 #[derive(Debug, Default)]
@@ -242,6 +318,37 @@ mod tests {
         g.backward(loss).unwrap();
         bind.accumulate_grads(&g, &mut store);
         assert_eq!(store.param(w).grad.data(), &[2.0]);
+    }
+
+    #[test]
+    fn persist_roundtrip_is_bitwise_and_resets_grads() {
+        let mut source = ParamStore::new();
+        let w = source.add_param("w", Tensor::from_vec([2], vec![1.5, -0.0]).unwrap());
+        source.add_buffer("rm", Tensor::from_vec([1], vec![f32::MIN_POSITIVE]).unwrap());
+        source.param_mut(w).grad = Tensor::full([2], 9.0);
+        let bytes = sdc_persist::save_state(&source);
+
+        let mut target = ParamStore::new();
+        let tw = target.add_param("w", Tensor::zeros([2]));
+        target.add_buffer("rm", Tensor::zeros([1]));
+        target.param_mut(tw).grad = Tensor::full([2], 5.0);
+        sdc_persist::load_state(&mut target, &bytes).unwrap();
+        assert_eq!(target.params()[0].value.data()[0], 1.5);
+        assert_eq!(target.params()[0].value.data()[1].to_bits(), (-0.0f32).to_bits());
+        assert_eq!(target.buffers()[0].value.data()[0], f32::MIN_POSITIVE);
+        assert_eq!(target.params()[0].grad.data(), &[0.0, 0.0], "grads are transient");
+    }
+
+    #[test]
+    fn persist_load_rejects_layout_drift_without_mutating() {
+        let mut source = ParamStore::new();
+        source.add_param("w", Tensor::ones([2]));
+        let bytes = sdc_persist::save_state(&source);
+        let mut other = ParamStore::new();
+        other.add_param("different", Tensor::full([2], 3.0));
+        let err = sdc_persist::load_state(&mut other, &bytes).unwrap_err();
+        assert!(matches!(err, sdc_persist::PersistError::StateMismatch { .. }), "{err}");
+        assert_eq!(other.params()[0].value.data(), &[3.0, 3.0], "failed load must not mutate");
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Typed errors of the snapshot container and state codecs.
+
+use sdc_tensor::TensorError;
+
+/// Everything that can go wrong writing, reading, or applying a
+/// snapshot. Every rejection path is a distinct variant so callers (and
+/// the integration suite) can assert *why* an input was refused — a
+/// corrupt file must surface as [`PersistError::ChecksumMismatch`],
+/// never as a mis-parsed state.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure while reading or writing a snapshot file.
+    Io {
+        /// The path or operation the failure belongs to.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The input does not start with the snapshot magic — not a
+    /// snapshot file at all.
+    BadMagic,
+    /// The snapshot declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Highest version this build understands.
+        supported: u32,
+    },
+    /// A CRC-32 check failed: the bytes differ from what was written.
+    ChecksumMismatch {
+        /// Which checksum failed: the whole-file CRC (`"<file>"`) or a
+        /// named section's payload CRC.
+        section: String,
+    },
+    /// The input ended before a declared structure was complete.
+    Truncated {
+        /// What was being read when the input ran out.
+        context: &'static str,
+    },
+    /// A structurally invalid input: a length field exceeding the
+    /// remaining bytes (rejected *before* any allocation), a duplicate
+    /// section name, trailing garbage, and the like.
+    Corrupt {
+        /// What was being read.
+        context: &'static str,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// A section the restore path requires is absent from the snapshot.
+    MissingSection(String),
+    /// The snapshot decoded cleanly but does not fit the component it
+    /// is being restored into (architecture, capacity, or
+    /// configuration drift).
+    StateMismatch {
+        /// Human-readable description of the mismatch.
+        message: String,
+    },
+    /// A tensor-layer error while rebuilding restored tensors.
+    Tensor(TensorError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io { context, source } => write!(f, "snapshot io failure ({context}): {source}"),
+            Self::BadMagic => write!(f, "bad magic: not an SDC snapshot"),
+            Self::UnsupportedVersion { found, supported } => {
+                write!(f, "snapshot format version {found} not supported (max {supported})")
+            }
+            Self::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in {section}: snapshot is corrupt")
+            }
+            Self::Truncated { context } => write!(f, "truncated snapshot while reading {context}"),
+            Self::Corrupt { context, message } => {
+                write!(f, "corrupt snapshot while reading {context}: {message}")
+            }
+            Self::MissingSection(name) => write!(f, "snapshot is missing section {name:?}"),
+            Self::StateMismatch { message } => {
+                write!(f, "snapshot does not fit this instance: {message}")
+            }
+            Self::Tensor(e) => write!(f, "tensor error while restoring snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            Self::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for PersistError {
+    fn from(e: TensorError) -> Self {
+        Self::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_section() {
+        let e = PersistError::ChecksumMismatch { section: "trainer".into() };
+        assert!(format!("{e}").contains("trainer"));
+        let e = PersistError::MissingSection("shard/3".into());
+        assert!(format!("{e}").contains("shard/3"));
+    }
+}

@@ -1,0 +1,354 @@
+//! Little-endian state codecs used inside snapshot sections.
+//!
+//! [`StateWriter`] builds a section payload; [`StateReader`] walks one
+//! back. Every read is bounds-checked against the remaining input, and
+//! every collection read validates its declared length against the
+//! remaining bytes **before** allocating — a hostile length field can
+//! never size an allocation.
+
+use sdc_tensor::{Shape, Tensor};
+
+use crate::error::PersistError;
+
+/// Builds one section's payload.
+#[derive(Debug, Default)]
+pub struct StateWriter {
+    bytes: Vec<u8>,
+}
+
+impl StateWriter {
+    /// Creates an empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The serialized payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Appends a byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32` as its exact bit pattern (restores bitwise,
+    /// including `-0.0` and NaN payloads).
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Appends an `f64` as its exact bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.bytes.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed raw byte blob.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u64(b.len() as u64);
+        self.bytes.extend_from_slice(b);
+    }
+
+    /// Appends a length-prefixed `f32` slice, bit-exactly.
+    pub fn put_f32_slice(&mut self, values: &[f32]) {
+        self.put_u64(values.len() as u64);
+        for &v in values {
+            self.put_f32(v);
+        }
+    }
+
+    /// Appends a tensor: rank, dims, then the data bit-exactly.
+    pub fn put_tensor(&mut self, t: &Tensor) {
+        self.put_u32(t.shape().rank() as u32);
+        for &d in t.shape().dims() {
+            self.put_u64(d as u64);
+        }
+        self.put_f32_slice(t.data());
+    }
+}
+
+/// Walks a section payload produced by [`StateWriter`].
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// Wraps a payload.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Asserts the payload was fully consumed — layout drift between
+    /// save and load shows up as trailing bytes, not silent skew.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Corrupt`] when bytes remain.
+    pub fn finish(&self) -> Result<(), PersistError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(PersistError::Corrupt {
+                context: "section tail",
+                message: format!("{} unconsumed trailing bytes", self.remaining()),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated { context });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Validates a declared element count against the remaining bytes
+    /// before anything allocates from it.
+    fn checked_len(
+        &self,
+        count: u64,
+        elem_size: usize,
+        context: &'static str,
+    ) -> Result<usize, PersistError> {
+        let total = count.checked_mul(elem_size as u64).filter(|&t| t <= self.remaining() as u64);
+        match total {
+            Some(_) => Ok(count as usize),
+            None => Err(PersistError::Corrupt {
+                context,
+                message: format!(
+                    "declared length {count} x {elem_size} exceeds the {} remaining bytes",
+                    self.remaining()
+                ),
+            }),
+        }
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] when the input ends.
+    pub fn get_u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] when the input ends.
+    pub fn get_u32(&mut self) -> Result<u32, PersistError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] when the input ends.
+    pub fn get_u64(&mut self) -> Result<u64, PersistError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads an `f32` bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] when the input ends.
+    pub fn get_f32(&mut self) -> Result<f32, PersistError> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Reads an `f64` bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Truncated`] when the input ends.
+    pub fn get_f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Rejects truncation, oversized lengths, and invalid UTF-8.
+    pub fn get_str(&mut self) -> Result<String, PersistError> {
+        let len = self.get_u64()?;
+        let len = self.checked_len(len, 1, "string")?;
+        let b = self.take(len, "string")?;
+        String::from_utf8(b.to_vec()).map_err(|_| PersistError::Corrupt {
+            context: "string",
+            message: "invalid utf-8".into(),
+        })
+    }
+
+    /// Reads a length-prefixed raw byte blob.
+    ///
+    /// # Errors
+    ///
+    /// Rejects truncation and oversized lengths.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, PersistError> {
+        let len = self.get_u64()?;
+        let len = self.checked_len(len, 1, "bytes")?;
+        Ok(self.take(len, "bytes")?.to_vec())
+    }
+
+    /// Reads a length-prefixed `f32` slice, bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Rejects truncation and oversized lengths.
+    pub fn get_f32_vec(&mut self) -> Result<Vec<f32>, PersistError> {
+        let count = self.get_u64()?;
+        let count = self.checked_len(count, 4, "f32 slice")?;
+        let raw = self.take(count * 4, "f32 slice")?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+            .collect())
+    }
+
+    /// Reads a tensor written by [`StateWriter::put_tensor`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects truncation, oversized ranks/dims, and dim/data length
+    /// disagreements.
+    pub fn get_tensor(&mut self) -> Result<Tensor, PersistError> {
+        let rank = self.get_u32()? as u64;
+        let rank = self.checked_len(rank, 8, "tensor dims")?;
+        let mut dims = Vec::with_capacity(rank);
+        let mut elements = 1u64;
+        for _ in 0..rank {
+            let d = self.get_u64()?;
+            elements = elements.checked_mul(d).ok_or(PersistError::Corrupt {
+                context: "tensor dims",
+                message: "element count overflows".into(),
+            })?;
+            dims.push(d as usize);
+        }
+        self.checked_len(elements, 4, "tensor data")?;
+        let data = self.get_f32_vec()?;
+        if data.len() as u64 != elements {
+            return Err(PersistError::Corrupt {
+                context: "tensor data",
+                message: format!("dims declare {elements} elements, payload holds {}", data.len()),
+            });
+        }
+        Ok(Tensor::from_vec(Shape::new(dims), data)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_bit_exactly() {
+        let mut w = StateWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_f32(-0.0);
+        w.put_f32(f32::NAN);
+        w.put_f64(std::f64::consts::PI);
+        w.put_str("encoder.stem.weight");
+        w.put_bytes(&[1, 2, 3]);
+        w.put_f32_slice(&[1.5, -2.5]);
+        let bytes = w.into_bytes();
+
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.get_f32().unwrap().to_bits(), f32::NAN.to_bits());
+        assert_eq!(r.get_f64().unwrap(), std::f64::consts::PI);
+        assert_eq!(r.get_str().unwrap(), "encoder.stem.weight");
+        assert_eq!(r.get_bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_f32_vec().unwrap(), vec![1.5, -2.5]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn tensor_roundtrip_preserves_shape_and_bits() {
+        let t = Tensor::from_vec([2, 3], vec![1.0, -0.0, f32::MIN, f32::MAX, 1e-40, 5.0]).unwrap();
+        let mut w = StateWriter::new();
+        w.put_tensor(&t);
+        let bytes = w.into_bytes();
+        let restored = StateReader::new(&bytes).get_tensor().unwrap();
+        assert_eq!(restored.shape(), t.shape());
+        for (a, b) in restored.data().iter().zip(t.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected_before_allocation() {
+        // A string claiming u64::MAX bytes in a 16-byte payload.
+        let mut w = StateWriter::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let err = StateReader::new(&bytes).get_str().unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt { .. }), "{err}");
+
+        // An f32 slice whose count * 4 overflows u64.
+        let mut w = StateWriter::new();
+        w.put_u64(u64::MAX / 2);
+        let bytes = w.into_bytes();
+        let err = StateReader::new(&bytes).get_f32_vec().unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt { .. }), "{err}");
+
+        // A tensor whose dims multiply past u64.
+        let mut w = StateWriter::new();
+        w.put_u32(2);
+        w.put_u64(u64::MAX);
+        w.put_u64(u64::MAX);
+        w.put_f32_slice(&[]);
+        let bytes = w.into_bytes();
+        let err = StateReader::new(&bytes).get_tensor().unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_typed_not_panicking() {
+        let mut w = StateWriter::new();
+        w.put_f32_slice(&[1.0, 2.0, 3.0]);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let err = StateReader::new(&bytes[..cut]).get_f32_vec().unwrap_err();
+            assert!(
+                matches!(err, PersistError::Truncated { .. } | PersistError::Corrupt { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+}

@@ -13,6 +13,8 @@
 //!   deterministic data-parallel kernels, prefetch channels).
 //! * [`serve`] — the batched scoring service layer (request
 //!   coalescing, per-stream buffer shards, the multi-stream trainer).
+//! * [`persist`] — crash-safe checkpoint/restore: the checksummed
+//!   snapshot container and the `Persist` state-capture trait.
 //!
 //! ```
 //! use sdc::core::{ContrastScoringPolicy, StreamTrainer, TrainerConfig};
@@ -39,6 +41,7 @@ pub use sdc_core as core;
 pub use sdc_data as data;
 pub use sdc_eval as eval;
 pub use sdc_nn as nn;
+pub use sdc_persist as persist;
 pub use sdc_runtime as runtime;
 pub use sdc_serve as serve;
 pub use sdc_tensor as tensor;

@@ -26,10 +26,12 @@ use std::collections::BTreeMap;
 use sdc_core::policy::ContrastScoringPolicy;
 use sdc_core::{ContrastiveModel, ReplacementOutcome, StreamTrainer, TrainerConfig};
 use sdc_data::{Sample, StreamId};
+use sdc_persist::PersistError;
 use sdc_tensor::Result;
 
 use crate::service::{ScoringClient, ScoringService, ServeConfig, ServeStats};
 use crate::shard::ShardedBuffer;
+use crate::snapshot::NodeSnapshot;
 
 /// One stream's slice of a round's outcome.
 #[derive(Debug, Clone, Copy)]
@@ -99,6 +101,53 @@ impl MultiStreamTrainer {
     /// A snapshot of the scoring service's coalescing counters.
     pub fn serve_stats(&self) -> ServeStats {
         self.service.stats()
+    }
+
+    /// Captures the node's full serving state as a [`NodeSnapshot`]:
+    /// the shared trainer, every stream shard, and the registered
+    /// client set.
+    ///
+    /// Call between rounds (the natural quiesce point — `run_round`
+    /// returns only after every score came back). The batcher is
+    /// additionally quiesced through a queue barrier, so the published
+    /// model swap from the previous round is guaranteed applied and
+    /// nothing is in flight when state is read.
+    ///
+    /// # Errors
+    ///
+    /// Reports the scoring service having terminated.
+    pub fn snapshot(&self) -> std::result::Result<NodeSnapshot, PersistError> {
+        self.service.quiesce()?;
+        let clients: Vec<StreamId> = self.clients.keys().copied().collect();
+        Ok(NodeSnapshot::capture(&self.trainer, &self.shards, &clients))
+    }
+
+    /// Rebuilds a serving node from a snapshot: a fresh driver under
+    /// the same `config`/`policy`/`serve` configuration, with trainer
+    /// and shard state restored bit-exactly, clients re-registered for
+    /// every stream the snapshot knew, and a fresh scoring service
+    /// started on the restored model — so the next
+    /// [`MultiStreamTrainer::run_round`] continues exactly where the
+    /// snapshotted node would have.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot decode failures and state/configuration
+    /// mismatches (the restored-into instances are built from `config`
+    /// and `policy`; drift is rejected, never silently absorbed).
+    pub fn restore(
+        config: TrainerConfig,
+        policy: ContrastScoringPolicy,
+        serve: ServeConfig,
+        snapshot: &NodeSnapshot,
+    ) -> std::result::Result<Self, PersistError> {
+        let mut shards = ShardedBuffer::new(config.buffer_size, policy.clone());
+        let mut trainer = StreamTrainer::new(config, Box::new(policy));
+        let client_ids = snapshot.restore_into(&mut trainer, &mut shards)?;
+        let service = ScoringService::start(trainer.model().clone(), serve);
+        let clients =
+            client_ids.into_iter().map(|id| (id, service.client(id))).collect::<BTreeMap<_, _>>();
+        Ok(Self { trainer, service, clients, shards })
     }
 
     /// Runs one serving round over `segments` (one entry per

@@ -42,7 +42,9 @@
 mod driver;
 mod service;
 mod shard;
+mod snapshot;
 
 pub use driver::{MultiStreamTrainer, RoundReport};
 pub use service::{ScoreTicket, ScoringClient, ScoringService, ServeConfig, ServeStats};
 pub use shard::{ShardedBuffer, StreamShard};
+pub use snapshot::NodeSnapshot;

@@ -151,6 +151,9 @@ enum Request {
     /// Install a fresh model snapshot for all subsequent batches
     /// (training drivers publish one after each update round).
     SwapModel(Box<ContrastiveModel>),
+    /// Barrier: reply once every message queued before this one has
+    /// been processed (checkpointing quiesces the batcher with it).
+    Sync(Sender<()>),
     /// Flush whatever is pending and exit (sent by the service handle's
     /// `Drop`; clients keep `Sender` clones, so queue disconnection
     /// alone cannot signal termination).
@@ -316,6 +319,23 @@ impl ScoringService {
         let _ = tx.send(Request::SwapModel(Box::new(model)));
     }
 
+    /// Quiesces the batcher: blocks until every message submitted
+    /// before this call — model swaps, registrations, score requests —
+    /// has been processed. Checkpointing calls this at a round
+    /// boundary so the captured model/shard state is the state the
+    /// batcher will score the *next* round with, with nothing
+    /// in flight.
+    ///
+    /// # Errors
+    ///
+    /// Reports the service having terminated.
+    pub fn quiesce(&self) -> Result<()> {
+        let tx = self.tx.as_ref().expect("sender lives until drop");
+        let (rtx, rrx) = bounded(1);
+        tx.send(Request::Sync(rtx)).map_err(|_| service_gone())?;
+        rrx.recv().map_err(|_| service_gone())
+    }
+
     /// A snapshot of the service's counters.
     pub fn stats(&self) -> ServeStats {
         ServeStats {
@@ -406,6 +426,12 @@ impl Batcher {
                 }
                 Some(Request::SwapModel(model)) => {
                     self.model = *model;
+                }
+                Some(Request::Sync(reply)) => {
+                    // The queue is FIFO, so everything sent before this
+                    // barrier — swaps, registrations, scores — has been
+                    // processed. The reply is the caller's proof.
+                    let _ = reply.send(());
                 }
                 Some(Request::Shutdown) => break,
                 None => {

@@ -13,9 +13,10 @@
 
 use std::collections::BTreeMap;
 
-use sdc_core::policy::ContrastScoringPolicy;
+use sdc_core::policy::{ContrastScoringPolicy, ReplacementPolicy};
 use sdc_core::{ReplacementOutcome, ReplayBuffer};
 use sdc_data::{Sample, StreamId};
+use sdc_persist::{Persist, PersistError, StateReader, StateWriter};
 use sdc_tensor::Result;
 
 /// One stream's private slice of serving state: its replay buffer and
@@ -57,6 +58,42 @@ impl StreamShard {
         score: impl FnMut(Vec<Sample>) -> Result<Vec<f32>>,
     ) -> Result<ReplacementOutcome> {
         self.policy.replace_with(&mut self.buffer, incoming, score)
+    }
+}
+
+/// Snapshot capture of one stream's serving state: its replay buffer
+/// (entries, scores, ages) plus its policy instance's state via
+/// [`ReplacementPolicy::save_state`] — everything a restarted node
+/// needs to continue this stream's replacements bit-identically.
+impl Persist for StreamShard {
+    fn save(&self, w: &mut StateWriter) {
+        self.buffer.save(w);
+        // Tagged with the policy name so a differently-typed restore
+        // target is rejected before load_state can misparse the bytes.
+        w.put_str(self.policy.name());
+        let mut policy = StateWriter::new();
+        ReplacementPolicy::save_state(&self.policy, &mut policy);
+        w.put_bytes(&policy.into_bytes());
+    }
+
+    fn load(&mut self, r: &mut StateReader) -> std::result::Result<(), PersistError> {
+        let mut buffer = self.buffer.clone();
+        buffer.load(r)?;
+        let policy_name = r.get_str()?;
+        if policy_name != self.policy.name() {
+            return Err(PersistError::StateMismatch {
+                message: format!(
+                    "snapshot shard policy is {policy_name:?}, this shard runs {:?}",
+                    self.policy.name()
+                ),
+            });
+        }
+        let policy_bytes = r.get_bytes()?;
+        let mut policy_reader = StateReader::new(&policy_bytes);
+        ReplacementPolicy::load_state(&mut self.policy, &mut policy_reader)?;
+        policy_reader.finish()?;
+        self.buffer = buffer;
+        Ok(())
     }
 }
 

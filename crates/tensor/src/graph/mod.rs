@@ -173,6 +173,81 @@ struct Node {
     grad: Option<Tensor>,
 }
 
+/// A size-bucketed free list of gradient-tensor storage.
+///
+/// Every reverse sweep materializes one contribution tensor per
+/// consumer→parent edge; most are consumed by `accumulate` (folded into
+/// an existing slot) and, before this pool, dropped — freshly allocated
+/// again on the next sweep of a re-swept tape (benches) or further down
+/// the same deep tape. The pool intercepts those drops and hands the
+/// storage back to the next same-sized gradient. Only *storage* is
+/// recycled — every element is overwritten through the same kernels and
+/// chunking as a fresh allocation, so results are bit-identical
+/// (enforced by `tests/backward_equivalence.rs`).
+///
+/// Interior mutability (a mutex) because `backward_node` runs
+/// concurrently on the level scheduler; the lock is held only for a
+/// bucket push/pop, never during tensor work.
+///
+/// The pool is **capped**: more storage is recycled than re-taken
+/// (ops with internal allocations — conv, matmul, batch-norm — feed
+/// the pool on the way out but never draw from it), so an uncapped
+/// pool would grow without bound on re-swept tapes. Recycling past
+/// [`POOL_BUDGET_BYTES`] total, or past [`POOL_BUCKET_CAP`] buffers of
+/// one size, just drops the buffer to the allocator as before.
+#[derive(Debug, Default)]
+struct GradPool {
+    buckets: std::sync::Mutex<PoolBuckets>,
+}
+
+#[derive(Debug, Default)]
+struct PoolBuckets {
+    by_len: std::collections::BTreeMap<usize, Vec<Vec<f32>>>,
+    total_bytes: usize,
+}
+
+/// Upper bound on pooled storage per graph (64 MiB — generous for one
+/// training tape's gradient working set, negligible beside the tape's
+/// own values).
+const POOL_BUDGET_BYTES: usize = 64 << 20;
+
+/// At most this many pooled buffers of any single size: per sweep a
+/// size is taken at most as often as its consumers run, so deeper
+/// stacks per size are dead weight.
+const POOL_BUCKET_CAP: usize = 8;
+
+impl GradPool {
+    fn take(&self, len: usize) -> Option<Vec<f32>> {
+        if len == 0 {
+            return None;
+        }
+        let mut buckets = self.buckets.lock().unwrap_or_else(|p| p.into_inner());
+        let taken = buckets.by_len.get_mut(&len).and_then(Vec::pop);
+        if taken.is_some() {
+            buckets.total_bytes -= len * std::mem::size_of::<f32>();
+        }
+        taken
+    }
+
+    fn recycle(&self, t: Tensor) {
+        let data = t.into_vec();
+        if data.is_empty() {
+            return;
+        }
+        let bytes = data.len() * std::mem::size_of::<f32>();
+        let mut buckets = self.buckets.lock().unwrap_or_else(|p| p.into_inner());
+        if buckets.total_bytes + bytes > POOL_BUDGET_BYTES {
+            return;
+        }
+        let bucket = buckets.by_len.entry(data.len()).or_default();
+        if bucket.len() >= POOL_BUCKET_CAP {
+            return;
+        }
+        bucket.push(data);
+        buckets.total_bytes += bytes;
+    }
+}
+
 /// A reverse-mode autodiff tape.
 ///
 /// See the crate-level documentation for an overview and a worked
@@ -180,17 +255,18 @@ struct Node {
 #[derive(Debug, Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    pool: GradPool,
 }
 
 impl Graph {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::default()
     }
 
     /// Creates an empty graph with room for `capacity` nodes.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { nodes: Vec::with_capacity(capacity) }
+        Self { nodes: Vec::with_capacity(capacity), pool: GradPool::default() }
     }
 
     /// Number of nodes on the tape.
@@ -672,7 +748,9 @@ impl Graph {
     /// for callers that want to drop gradient memory early.
     pub fn clear_grads(&mut self) {
         for node in &mut self.nodes {
-            node.grad = None;
+            if let Some(g) = node.grad.take() {
+                self.pool.recycle(g);
+            }
         }
     }
 
@@ -730,10 +808,58 @@ impl Graph {
     }
 
     /// Adds `t` into node `id`'s gradient slot (installing it if empty).
+    /// A folded-in contribution's storage goes back to the pool for the
+    /// next same-sized gradient instead of being dropped.
     fn accumulate(&mut self, id: usize, t: Tensor) {
         match &mut self.nodes[id].grad {
-            Some(g) => g.add_assign_scaled(&t, 1.0),
+            Some(g) => {
+                g.add_assign_scaled(&t, 1.0);
+                self.pool.recycle(t);
+            }
             slot @ None => *slot = Some(t),
+        }
+    }
+
+    /// A copy of `src` over recycled storage when a same-sized buffer
+    /// is pooled, a fresh allocation otherwise.
+    fn pooled_copy(&self, src: &Tensor) -> Tensor {
+        match self.pool.take(src.len()) {
+            Some(buf) => src.copy_into(buf),
+            None => src.clone(),
+        }
+    }
+
+    /// `src.map(f)` over recycled storage when available.
+    fn pooled_map(&self, src: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        match self.pool.take(src.len()) {
+            Some(buf) => src.map_into(buf, f),
+            None => src.map(f),
+        }
+    }
+
+    /// `a.zip_map(b, f)` over recycled storage when available (shapes
+    /// must match, as everywhere in backward; mismatches fall through
+    /// to `zip_map`'s own typed error).
+    fn pooled_zip(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Result<Tensor> {
+        if a.shape() != b.shape() {
+            return a.zip_map(b, f);
+        }
+        match self.pool.take(a.len()) {
+            Some(buf) => Ok(a.zip_map_into(b, buf, f)),
+            None => a.zip_map(b, f),
+        }
+    }
+
+    /// `Tensor::full(shape, v)` over recycled storage when available.
+    fn pooled_full(&self, shape: Shape, value: f32) -> Tensor {
+        match self.pool.take(shape.num_elements()) {
+            Some(buf) => Tensor::full_into(shape, buf, value),
+            None => Tensor::full(shape, value),
         }
     }
 
@@ -741,21 +867,24 @@ impl Graph {
         let node = &self.nodes[i];
         let out = match &node.op {
             Op::Leaf => vec![],
-            Op::Add(a, b) => vec![(a.0, g.clone()), (b.0, g.clone())],
-            Op::Sub(a, b) => vec![(a.0, g.clone()), (b.0, g.map(|v| -v))],
+            Op::Add(a, b) => vec![(a.0, self.pooled_copy(g)), (b.0, self.pooled_copy(g))],
+            Op::Sub(a, b) => vec![(a.0, self.pooled_copy(g)), (b.0, self.pooled_map(g, |v| -v))],
             Op::Mul(a, b) => {
-                let ga = g.zip_map(&self.nodes[b.0].value, |x, y| x * y)?;
-                let gb = g.zip_map(&self.nodes[a.0].value, |x, y| x * y)?;
+                let ga = self.pooled_zip(g, &self.nodes[b.0].value, |x, y| x * y)?;
+                let gb = self.pooled_zip(g, &self.nodes[a.0].value, |x, y| x * y)?;
                 vec![(a.0, ga), (b.0, gb)]
             }
-            Op::Scale(x, c) => vec![(x.0, g.map(|v| v * c))],
-            Op::AddScalar(x) => vec![(x.0, g.clone())],
+            Op::Scale(x, c) => {
+                let c = *c;
+                vec![(x.0, self.pooled_map(g, move |v| v * c))]
+            }
+            Op::AddScalar(x) => vec![(x.0, self.pooled_copy(g))],
             Op::AddBias { x, b } => {
                 // The bias gradient is the column sum of the upstream
                 // gradient — the same kernel as the SumCols op, which
                 // chunks columns over the worker pool.
                 let gb = sum_cols_forward(g)?;
-                vec![(x.0, g.clone()), (b.0, gb)]
+                vec![(x.0, self.pooled_copy(g)), (b.0, gb)]
             }
             // Gradient products run on the blocked gemm kernels; the
             // transposed operand of each `matmul_tn`/`matmul_nt` is
@@ -775,7 +904,11 @@ impl Graph {
             Op::Transpose(x) => vec![(x.0, transpose(g)?)],
             Op::Relu(x) => {
                 let gx =
-                    g.zip_map(&self.nodes[x.0].value, |gv, xv| if xv > 0.0 { gv } else { 0.0 })?;
+                    self.pooled_zip(
+                        g,
+                        &self.nodes[x.0].value,
+                        |gv, xv| if xv > 0.0 { gv } else { 0.0 },
+                    )?;
                 vec![(x.0, gx)]
             }
             Op::Conv2d { x, w, b, stride, padding } => {
@@ -835,7 +968,7 @@ impl Graph {
                 vec![(logp.0, nll_backward((n, d), targets, g.item()))]
             }
             Op::MaskedFill { x, mask } => {
-                let mut gx = g.clone();
+                let mut gx = self.pooled_copy(g);
                 for (v, &m) in gx.data_mut().iter_mut().zip(mask) {
                     if m {
                         *v = 0.0;
@@ -846,11 +979,11 @@ impl Graph {
             Op::MeanAll(x) => {
                 let parent = &self.nodes[x.0].value;
                 let v = g.item() / parent.len() as f32;
-                vec![(x.0, Tensor::full(parent.shape().clone(), v))]
+                vec![(x.0, self.pooled_full(parent.shape().clone(), v))]
             }
             Op::SumAll(x) => {
                 let parent = &self.nodes[x.0].value;
-                vec![(x.0, Tensor::full(parent.shape().clone(), g.item()))]
+                vec![(x.0, self.pooled_full(parent.shape().clone(), g.item()))]
             }
             Op::Exp(x) => vec![(x.0, exp_backward(&node.value, g))],
             Op::Ln { x, eps } => vec![(x.0, ln_backward(&self.nodes[x.0].value, g, *eps))],
@@ -882,7 +1015,7 @@ impl Graph {
                 vec![(x.0, sum_cols_backward(g, n, d))]
             }
             Op::Dropout { x, mask, scale } => {
-                let mut gx = g.clone();
+                let mut gx = self.pooled_copy(g);
                 for (v, &keep) in gx.data_mut().iter_mut().zip(mask) {
                     *v = if keep { *v * scale } else { 0.0 };
                 }
@@ -1043,6 +1176,42 @@ mod tests {
                 first.data(),
                 "re-sweep (serial={serial}) changed gradients"
             );
+        }
+    }
+
+    /// Re-sweeping exercises the gradient pool: sweep 2 recycles sweep
+    /// 1's buffers through every pooled op (copy, map, zip, full). The
+    /// recycled-storage results must be bit-identical to a fresh
+    /// graph's — recycling reuses storage, never values.
+    #[test]
+    fn pooled_resweeps_match_a_fresh_graph_bitwise() {
+        let build = |g: &mut Graph| {
+            let a = g.leaf(t2(&[1.5, -2.0, 3.25, 0.5]));
+            let b = g.leaf(t2(&[0.25, 4.0, -1.0, 2.0]));
+            let sum = g.add(a, b).unwrap();
+            let diff = g.sub(sum, b).unwrap();
+            let prod = g.mul(diff, a).unwrap();
+            let scaled = g.scale(prod, -1.75);
+            let masked = g.masked_fill(scaled, vec![false, true, false, false], 0.0).unwrap();
+            let relu = g.relu(masked);
+            let loss = g.mean_all(relu);
+            (a, b, loss)
+        };
+        let mut fresh = Graph::new();
+        let (fa, fb, floss) = build(&mut fresh);
+        fresh.backward(floss).unwrap();
+
+        let mut reswept = Graph::new();
+        let (ra, rb, rloss) = build(&mut reswept);
+        for _ in 0..3 {
+            reswept.backward(rloss).unwrap();
+        }
+        for (f, r) in [(fa, ra), (fb, rb)] {
+            let want: Vec<u32> =
+                fresh.grad(f).unwrap().data().iter().map(|v| v.to_bits()).collect();
+            let got: Vec<u32> =
+                reswept.grad(r).unwrap().data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "recycled buffers changed gradient bits");
         }
     }
 

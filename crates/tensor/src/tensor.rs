@@ -209,6 +209,73 @@ impl Tensor {
         Self { shape: self.shape.clone(), data }
     }
 
+    /// [`Tensor::map`] writing into a caller-provided buffer of exactly
+    /// `self.len()` elements (the graph backward's gradient pool feeds
+    /// recycled buffers through here). Chunking is identical to `map`,
+    /// so the result is bit-identical to it at any thread count.
+    pub(crate) fn map_into(&self, mut data: Vec<f32>, f: impl Fn(f32) -> f32 + Sync) -> Self {
+        let n = self.data.len();
+        debug_assert_eq!(data.len(), n, "map_into buffer length mismatch");
+        if !crate::par::parallelize(n) {
+            for (o, &x) in data.iter_mut().zip(&self.data) {
+                *o = f(x);
+            }
+            return Self { shape: self.shape.clone(), data };
+        }
+        let src = &self.data;
+        sdc_runtime::par_chunks_mut(&mut data, crate::par::ELEM_CHUNK, |ci, piece| {
+            let base = ci * crate::par::ELEM_CHUNK;
+            for (j, o) in piece.iter_mut().enumerate() {
+                *o = f(src[base + j]);
+            }
+        });
+        Self { shape: self.shape.clone(), data }
+    }
+
+    /// A copy of `self` whose storage is the caller-provided buffer
+    /// (length must equal `self.len()`).
+    pub(crate) fn copy_into(&self, mut data: Vec<f32>) -> Self {
+        debug_assert_eq!(data.len(), self.data.len(), "copy_into buffer length mismatch");
+        data.copy_from_slice(&self.data);
+        Self { shape: self.shape.clone(), data }
+    }
+
+    /// A constant tensor over a caller-provided buffer (length must
+    /// equal the shape's element count).
+    pub(crate) fn full_into(shape: Shape, mut data: Vec<f32>, value: f32) -> Self {
+        debug_assert_eq!(data.len(), shape.num_elements(), "full_into buffer length mismatch");
+        data.iter_mut().for_each(|x| *x = value);
+        Self { shape, data }
+    }
+
+    /// [`Tensor::zip_map`] writing into a caller-provided buffer;
+    /// shapes must already match and the buffer length must equal
+    /// `self.len()`. Chunking is identical to `zip_map`.
+    pub(crate) fn zip_map_into(
+        &self,
+        other: &Tensor,
+        mut data: Vec<f32>,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Self {
+        let n = self.data.len();
+        debug_assert_eq!(self.shape, other.shape, "zip_map_into shape mismatch");
+        debug_assert_eq!(data.len(), n, "zip_map_into buffer length mismatch");
+        if !crate::par::parallelize(n) {
+            for ((o, &a), &b) in data.iter_mut().zip(&self.data).zip(&other.data) {
+                *o = f(a, b);
+            }
+            return Self { shape: self.shape.clone(), data };
+        }
+        let (lhs, rhs) = (&self.data, &other.data);
+        sdc_runtime::par_chunks_mut(&mut data, crate::par::ELEM_CHUNK, |ci, piece| {
+            let base = ci * crate::par::ELEM_CHUNK;
+            for (j, o) in piece.iter_mut().enumerate() {
+                *o = f(lhs[base + j], rhs[base + j]);
+            }
+        });
+        Self { shape: self.shape.clone(), data }
+    }
+
     /// Elementwise combination of two same-shaped tensors.
     ///
     /// Parallelized like [`Tensor::map`] above the size threshold.
