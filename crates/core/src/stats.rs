@@ -126,11 +126,27 @@ impl SelectionStats {
     }
 }
 
+/// Accumulators currently known to this build, in on-disk order.
+const STAT_FIELDS: u64 = 6;
+
+/// Hard cap on the field count a payload may declare — anything larger
+/// is treated as corruption, not a future format.
+const MAX_STAT_FIELDS: u64 = 64;
+
 /// Snapshot capture of every accumulator, bit-exact in `f64`, so a
 /// restored trainer's reported Table-I metrics continue the
 /// interrupted run's averages rather than restarting from zero.
+///
+/// The payload is **self-describing**: a leading field count, then that
+/// many fixed-width [`RunningMean`]s in declaration order. This is the
+/// byte-level counterpart of the `#[serde(default)]` timing fields —
+/// a payload written before `forward_nanos`/`backward_nanos` existed
+/// (count 4) loads cleanly with those accumulators defaulted, and a
+/// payload from a build with *more* accumulators skips the unknown
+/// trailing fields instead of failing.
 impl Persist for SelectionStats {
     fn save(&self, w: &mut StateWriter) {
+        w.put_u64(STAT_FIELDS);
         self.rescoring.save(w);
         self.retention.save(w);
         self.replace_nanos.save(w);
@@ -140,12 +156,34 @@ impl Persist for SelectionStats {
     }
 
     fn load(&mut self, r: &mut StateReader) -> Result<(), PersistError> {
-        self.rescoring.load(r)?;
-        self.retention.load(r)?;
-        self.replace_nanos.load(r)?;
-        self.update_nanos.load(r)?;
-        self.forward_nanos.load(r)?;
-        self.backward_nanos.load(r)?;
+        let n = r.get_u64()?;
+        if n > MAX_STAT_FIELDS {
+            return Err(PersistError::Corrupt {
+                context: "selection stats",
+                message: format!("field count {n} exceeds the {MAX_STAT_FIELDS} cap"),
+            });
+        }
+        let fields: [&mut RunningMean; STAT_FIELDS as usize] = [
+            &mut self.rescoring,
+            &mut self.retention,
+            &mut self.replace_nanos,
+            &mut self.update_nanos,
+            &mut self.forward_nanos,
+            &mut self.backward_nanos,
+        ];
+        for (i, field) in fields.into_iter().enumerate() {
+            if (i as u64) < n {
+                field.load(r)?;
+            } else {
+                *field = RunningMean::default();
+            }
+        }
+        // Unknown trailing accumulators from a newer writer: skip their
+        // fixed-width payloads (sum f64 + count u64 each).
+        for _ in STAT_FIELDS..n {
+            r.get_f64()?;
+            r.get_u64()?;
+        }
         Ok(())
     }
 }
@@ -197,5 +235,109 @@ mod tests {
     fn relative_batch_time_degenerate() {
         let s = SelectionStats::default();
         assert_eq!(s.relative_batch_time(), 1.0);
+    }
+
+    fn populated_stats() -> SelectionStats {
+        let mut s = SelectionStats::default();
+        let outcome = ReplacementOutcome {
+            candidates: 8,
+            rescored_buffer: 2,
+            buffer_len_before: 4,
+            retained_from_buffer: 3,
+            scoring_forward_samples: 12,
+        };
+        for i in 0..5u64 {
+            s.record(&StepReport {
+                loss: 0.5,
+                outcome,
+                replace_nanos: 100 + i,
+                update_nanos: 400 + i,
+                forward_nanos: 150 + i,
+                backward_nanos: 200 + i,
+            });
+        }
+        s
+    }
+
+    /// A fresh save → load → save must be byte-identical (bit-exact
+    /// `f64` state), and the loaded struct must compare equal.
+    #[test]
+    fn persist_round_trip_is_bit_exact() {
+        let s = populated_stats();
+        let mut w = StateWriter::new();
+        s.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut loaded = SelectionStats::default();
+        let mut r = StateReader::new(&bytes);
+        loaded.load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(loaded, s);
+
+        let mut w2 = StateWriter::new();
+        loaded.save(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes, "re-saved payload must be byte-identical");
+    }
+
+    /// A payload from before the timing accumulators existed (the
+    /// byte-level analogue of the `#[serde(default)]` fields) loads
+    /// cleanly, defaulting `forward_nanos`/`backward_nanos`.
+    #[test]
+    fn old_four_field_payload_loads_with_defaulted_timings() {
+        let s = populated_stats();
+        let mut w = StateWriter::new();
+        w.put_u64(4);
+        s.rescoring.save(&mut w);
+        s.retention.save(&mut w);
+        s.replace_nanos.save(&mut w);
+        s.update_nanos.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut loaded = populated_stats(); // pre-dirtied: defaults must overwrite
+        let mut r = StateReader::new(&bytes);
+        loaded.load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(loaded.mean_rescoring_fraction(), s.mean_rescoring_fraction());
+        assert_eq!(loaded.mean_update_nanos(), s.mean_update_nanos());
+        assert_eq!(loaded.forward_nanos, RunningMean::default());
+        assert_eq!(loaded.backward_nanos, RunningMean::default());
+    }
+
+    /// A payload from a *newer* writer with extra accumulators loads
+    /// the known six and skips the rest, consuming exactly the
+    /// declared bytes (nothing left dangling for the next reader).
+    #[test]
+    fn future_payload_with_extra_fields_is_skipped_cleanly() {
+        let s = populated_stats();
+        let mut w = StateWriter::new();
+        w.put_u64(7);
+        s.rescoring.save(&mut w);
+        s.retention.save(&mut w);
+        s.replace_nanos.save(&mut w);
+        s.update_nanos.save(&mut w);
+        s.forward_nanos.save(&mut w);
+        s.backward_nanos.save(&mut w);
+        let mut extra = RunningMean::new();
+        extra.push(9.0);
+        extra.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut loaded = SelectionStats::default();
+        let mut r = StateReader::new(&bytes);
+        loaded.load(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(loaded, s);
+    }
+
+    /// An absurd field count is rejected as corruption, not used as an
+    /// allocation or skip length.
+    #[test]
+    fn oversized_field_count_is_rejected() {
+        let mut w = StateWriter::new();
+        w.put_u64(1_000_000);
+        let bytes = w.into_bytes();
+        let mut loaded = SelectionStats::default();
+        let err = loaded.load(&mut StateReader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, PersistError::Corrupt { .. }), "{err}");
     }
 }

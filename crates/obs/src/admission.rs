@@ -1,0 +1,136 @@
+//! Deterministic admission control for the open-loop harness.
+//!
+//! Real queue-full backpressure (`try_submit` on a bounded channel)
+//! depends on wall-clock races and can never be reproducible. The
+//! harness therefore decides admission with a **virtual-backlog fluid
+//! model**: each admitted request deposits a fixed service cost into a
+//! backlog that drains in real (scheduled) time, and an arrival is shed
+//! when admitting it would push the backlog past a bound. The decision
+//! sequence is a pure function of `(schedule, config)` — same seed ⇒
+//! same shed decisions — while still shedding exactly where a bounded
+//! queue would be saturated.
+
+/// Outcome of offering one arrival to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// The request is admitted; its cost joins the virtual backlog.
+    Admit,
+    /// The request is shed; the backlog is unchanged.
+    Shed,
+}
+
+/// Tuning of the [`AdmissionController`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Virtual service cost one admitted request deposits.
+    pub cost_nanos: u64,
+    /// Maximum backlog: an arrival is shed when `backlog + cost` would
+    /// exceed this. `max_backlog_nanos / cost_nanos` is the virtual
+    /// queue depth.
+    pub max_backlog_nanos: u64,
+}
+
+/// The virtual-backlog admission controller. Feed it arrivals in
+/// schedule order via [`AdmissionController::offer`].
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    backlog: u64,
+    last_arrival: u64,
+}
+
+impl AdmissionController {
+    /// Creates an empty controller.
+    pub fn new(config: AdmissionConfig) -> Self {
+        Self { config, backlog: 0, last_arrival: 0 }
+    }
+
+    /// Decides one arrival (absolute nanoseconds, non-decreasing
+    /// between calls: drain the backlog by the elapsed gap, then admit
+    /// unless the bound would be exceeded).
+    pub fn offer(&mut self, arrival_nanos: u64) -> AdmissionDecision {
+        let gap = arrival_nanos.saturating_sub(self.last_arrival);
+        self.last_arrival = self.last_arrival.max(arrival_nanos);
+        self.backlog = self.backlog.saturating_sub(gap);
+        if self.backlog + self.config.cost_nanos > self.config.max_backlog_nanos {
+            AdmissionDecision::Shed
+        } else {
+            self.backlog += self.config.cost_nanos;
+            AdmissionDecision::Admit
+        }
+    }
+
+    /// Current virtual backlog (at the last offered arrival's time).
+    pub fn backlog_nanos(&self) -> u64 {
+        self.backlog
+    }
+
+    /// Decides a whole schedule at once.
+    pub fn decide_all(schedule: &[u64], config: AdmissionConfig) -> Vec<AdmissionDecision> {
+        let mut c = AdmissionController::new(config);
+        schedule.iter().map(|&t| c.offer(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ArrivalProcess;
+
+    const CFG: AdmissionConfig = AdmissionConfig { cost_nanos: 1000, max_backlog_nanos: 3000 };
+
+    #[test]
+    fn spaced_arrivals_all_admit() {
+        let schedule: Vec<u64> = (0..50).map(|i| i * 2000).collect();
+        let d = AdmissionController::decide_all(&schedule, CFG);
+        assert!(d.iter().all(|&x| x == AdmissionDecision::Admit));
+    }
+
+    #[test]
+    fn a_burst_sheds_past_the_bound() {
+        // Five simultaneous arrivals against depth 3: admit 3, shed 2.
+        let d = AdmissionController::decide_all(&[0, 0, 0, 0, 0], CFG);
+        let admitted = d.iter().filter(|&&x| x == AdmissionDecision::Admit).count();
+        assert_eq!(admitted, 3);
+        assert_eq!(d[3], AdmissionDecision::Shed);
+        assert_eq!(d[4], AdmissionDecision::Shed);
+    }
+
+    #[test]
+    fn backlog_drains_with_time() {
+        let mut c = AdmissionController::new(CFG);
+        for _ in 0..3 {
+            assert_eq!(c.offer(0), AdmissionDecision::Admit);
+        }
+        assert_eq!(c.offer(0), AdmissionDecision::Shed);
+        // 1500ns later one slot has drained.
+        assert_eq!(c.offer(1500), AdmissionDecision::Admit);
+        assert_eq!(c.offer(1500), AdmissionDecision::Shed);
+    }
+
+    #[test]
+    fn backlog_is_always_bounded() {
+        let schedule = ArrivalProcess::Bursty {
+            calm_gap_nanos: 1500,
+            burst_gap_nanos: 10,
+            enter_burst: 0.2,
+            exit_burst: 0.1,
+        }
+        .schedule(9, 10_000);
+        let mut c = AdmissionController::new(CFG);
+        for &t in &schedule {
+            c.offer(t);
+            assert!(c.backlog_nanos() <= CFG.max_backlog_nanos);
+        }
+    }
+
+    #[test]
+    fn decisions_are_reproducible_from_the_seed() {
+        let p = ArrivalProcess::Poisson { mean_gap_nanos: 800 };
+        let a = AdmissionController::decide_all(&p.schedule(21, 2000), CFG);
+        let b = AdmissionController::decide_all(&p.schedule(21, 2000), CFG);
+        assert_eq!(a, b);
+        assert!(a.contains(&AdmissionDecision::Shed), "an overloaded schedule must shed");
+        assert!(a.contains(&AdmissionDecision::Admit));
+    }
+}

@@ -1,0 +1,166 @@
+//! Deterministic open-loop arrival schedules.
+//!
+//! An open-loop load test issues requests at *externally scheduled*
+//! times regardless of how fast the system answers — the discipline
+//! under which tail latency is honest (a closed-loop driver slows down
+//! with the system and hides queueing delay). The schedule is a pure
+//! function of `(process, seed)`, so a run is exactly reproducible:
+//! same seed ⇒ same arrival instants ⇒ (through the deterministic
+//! [`crate::AdmissionController`]) same shed decisions.
+
+/// `splitmix64` — a tiny, high-quality, dependency-free PRNG. Used so
+/// `sdc-obs` stays free of the workspace's `rand` shim and schedules
+/// are reproducible from a single `u64` seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// An inter-arrival process for the open-loop harness. Gaps are in
+/// nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential inter-arrival gaps with the
+    /// given mean — the classic open-loop baseline.
+    Poisson {
+        /// Mean gap between consecutive arrivals.
+        mean_gap_nanos: u64,
+    },
+    /// Markov-modulated arrivals: the process alternates between a
+    /// *calm* and a *burst* regime (each with exponential gaps at its
+    /// own mean), switching regimes per arrival with the given
+    /// probabilities. Models the correlated / regime-switching stream
+    /// behaviour that uniform drivers hide (cf. the hidden-Markov
+    /// correlation model of Fang & Jeong in `PAPERS.md`).
+    Bursty {
+        /// Mean gap while calm.
+        calm_gap_nanos: u64,
+        /// Mean gap while bursting (typically ≪ `calm_gap_nanos`).
+        burst_gap_nanos: u64,
+        /// Per-arrival probability of switching calm → burst.
+        enter_burst: f64,
+        /// Per-arrival probability of switching burst → calm.
+        exit_burst: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Generates `n` absolute arrival offsets (nanoseconds from the
+    /// start of the run), non-decreasing. Pure function of
+    /// `(self, seed, n)`.
+    pub fn schedule(&self, seed: u64, n: usize) -> Vec<u64> {
+        let mut rng = SplitMix64::new(seed);
+        let mut now = 0u64;
+        let mut in_burst = false;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let gap = match *self {
+                ArrivalProcess::Poisson { mean_gap_nanos } => exp_gap(&mut rng, mean_gap_nanos),
+                ArrivalProcess::Bursty {
+                    calm_gap_nanos,
+                    burst_gap_nanos,
+                    enter_burst,
+                    exit_burst,
+                } => {
+                    let flip = rng.next_f64();
+                    in_burst = if in_burst { flip >= exit_burst } else { flip < enter_burst };
+                    exp_gap(&mut rng, if in_burst { burst_gap_nanos } else { calm_gap_nanos })
+                }
+            };
+            now = now.saturating_add(gap);
+            out.push(now);
+        }
+        out
+    }
+}
+
+/// Exponentially distributed gap via inverse-CDF sampling.
+fn exp_gap(rng: &mut SplitMix64, mean_nanos: u64) -> u64 {
+    let u = rng.next_f64();
+    (-(1.0 - u).ln() * mean_nanos as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_reproducible_and_nontrivial() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+        let mut c = SplitMix64::new(43);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let p = ArrivalProcess::Poisson { mean_gap_nanos: 1_000_000 };
+        assert_eq!(p.schedule(7, 100), p.schedule(7, 100));
+        assert_ne!(p.schedule(7, 100), p.schedule(8, 100));
+        let b = ArrivalProcess::Bursty {
+            calm_gap_nanos: 1_000_000,
+            burst_gap_nanos: 50_000,
+            enter_burst: 0.1,
+            exit_burst: 0.3,
+        };
+        assert_eq!(b.schedule(7, 100), b.schedule(7, 100));
+    }
+
+    #[test]
+    fn schedules_are_nondecreasing() {
+        let p = ArrivalProcess::Poisson { mean_gap_nanos: 500 };
+        let s = p.schedule(3, 1000);
+        assert_eq!(s.len(), 1000);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn poisson_mean_gap_is_roughly_right() {
+        let mean = 1_000_000u64;
+        let s = ArrivalProcess::Poisson { mean_gap_nanos: mean }.schedule(11, 20_000);
+        let observed = *s.last().unwrap() as f64 / s.len() as f64;
+        let err = (observed - mean as f64).abs() / mean as f64;
+        assert!(err < 0.05, "observed mean gap {observed}, want ≈ {mean}");
+    }
+
+    #[test]
+    fn bursty_schedule_has_both_regimes() {
+        let b = ArrivalProcess::Bursty {
+            calm_gap_nanos: 1_000_000,
+            burst_gap_nanos: 10_000,
+            enter_burst: 0.05,
+            exit_burst: 0.2,
+        };
+        let s = b.schedule(5, 5000);
+        let gaps: Vec<u64> = s.windows(2).map(|w| w[1] - w[0]).collect();
+        let short = gaps.iter().filter(|&&g| g < 100_000).count();
+        let long = gaps.iter().filter(|&&g| g > 300_000).count();
+        assert!(short > 100, "expected burst gaps, saw {short}");
+        assert!(long > 100, "expected calm gaps, saw {long}");
+    }
+}

@@ -1,0 +1,347 @@
+//! Log-bucketed latency histogram with exact min/max/count and
+//! HDR-style bounded relative error on percentiles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution bits per octave: 16 sub-buckets, so a bucket's
+/// width is at most 1/16 of its lower bound (≤ 6.25% relative error).
+const SUB_BITS: u32 = 4;
+const SUBS: usize = 1 << SUB_BITS;
+/// Values below this are their own (exact) bucket.
+const EXACT: u64 = SUBS as u64;
+/// One group of `SUBS` buckets per possible shift (0..=63-SUB_BITS),
+/// plus the `SUBS` exact buckets.
+const BUCKETS: usize = (64 - SUB_BITS as usize) * SUBS + SUBS;
+
+/// Bucket index of a recorded value; total order preserving.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < EXACT {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        (shift as usize) * SUBS + ((v >> shift) as usize & (SUBS - 1)) + SUBS
+    }
+}
+
+/// Smallest value mapping to bucket `idx`.
+fn bucket_low(idx: usize) -> u64 {
+    if idx < SUBS {
+        idx as u64
+    } else {
+        let shift = (idx - SUBS) / SUBS;
+        let sub = (idx - SUBS) % SUBS;
+        ((SUBS + sub) as u64) << shift
+    }
+}
+
+/// Width of bucket `idx` (1 for exact buckets).
+fn bucket_width(idx: usize) -> u64 {
+    if idx < 2 * SUBS {
+        1
+    } else {
+        1u64 << ((idx - SUBS) / SUBS)
+    }
+}
+
+/// A fixed-size, lock-free, log-bucketed histogram of `u64` values
+/// (by convention: nanoseconds).
+///
+/// Values below 16 land in exact unit buckets; above that, each octave
+/// is split into 16 sub-buckets, so any reported percentile is within
+/// 6.25% of a value actually recorded. `min`/`max`/`count`/`sum` are
+/// tracked exactly. All updates are relaxed atomic RMWs — recording
+/// never blocks and never allocates.
+///
+/// Recording is gated on [`crate::enabled`]: when the registry is
+/// disabled, [`LatencyHistogram::record`] is one relaxed load.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram (~8 KiB of buckets).
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: buckets.into_boxed_slice(),
+        }
+    }
+
+    /// Records one value (no-op while recording is disabled).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// A point-in-time copy of the histogram's state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    /// Convenience: snapshot + summarize in one call.
+    pub fn summary(&self) -> LatencySummary {
+        self.snapshot().summary()
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogram`], supporting interval
+/// deltas and percentile queries.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Exact smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Exact largest recorded value (0 when empty).
+    pub max: u64,
+    buckets: Box<[u64]>,
+}
+
+impl HistogramSnapshot {
+    /// The values recorded between `earlier` and `self` (both taken
+    /// from the same histogram, `earlier` first).
+    ///
+    /// The interval's `min`/`max` are bucket-resolution approximations
+    /// (the lifetime extremes cannot be subtracted); they are the
+    /// bounds of the lowest and highest non-empty delta bucket,
+    /// clamped to the lifetime extremes.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets: Box<[u64]> = self
+            .buckets
+            .iter()
+            .zip(earlier.buckets.iter())
+            .map(|(now, then)| now.saturating_sub(*then))
+            .collect();
+        let low = buckets.iter().position(|&c| c > 0);
+        let high = buckets.iter().rposition(|&c| c > 0);
+        let min = match low {
+            Some(i) => bucket_low(i).max(self.min),
+            None => u64::MAX,
+        };
+        let max = match high {
+            Some(i) => (bucket_low(i) + bucket_width(i) - 1).min(self.max),
+            None => 0,
+        };
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min,
+            max,
+            buckets,
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (0 when empty): the bucket
+    /// midpoint of the bucket holding the rank-`⌈q·count⌉` value,
+    /// clamped into `[min, max]` — within 6.25% of a recorded value.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                let mid = bucket_low(idx) + (bucket_width(idx) - 1) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Summarizes this snapshot into fixed percentiles.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
+        }
+    }
+}
+
+/// Fixed-percentile summary of a histogram. All fields are integers so
+/// the summary is `Eq`-comparable and embeddable in count-derived stats
+/// structs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (nanoseconds by convention).
+    pub sum: u64,
+    /// Exact smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Exact largest recorded value.
+    pub max: u64,
+    /// Median (≤ 6.25% relative error).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+impl LatencySummary {
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..32u64 {
+            let idx = bucket_index(v);
+            assert_eq!(bucket_low(idx), v, "value {v}");
+            assert_eq!(bucket_width(idx), 1, "value {v}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut prev = 0;
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index must not decrease at {v}");
+            assert!(idx < BUCKETS);
+            prev = idx;
+            v = v * 3 + 1;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        let mut v = 1u64;
+        while v < u64::MAX / 7 {
+            let idx = bucket_index(v);
+            let low = bucket_low(idx);
+            let width = bucket_width(idx);
+            assert!(
+                low <= v && v < low + width,
+                "value {v} outside bucket [{low}, {})",
+                low + width
+            );
+            v = v * 7 + 3;
+        }
+    }
+
+    #[test]
+    fn percentiles_bound_relative_error() {
+        crate::set_enabled(true);
+        let h = LatencyHistogram::new();
+        let values: Vec<u64> = (0..10_000).map(|i| (i * i) % 1_000_000 + 1).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = sorted[((q * sorted.len() as f64).ceil() as usize).min(sorted.len()) - 1];
+            let got = snap.percentile(q);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(err <= 0.0625, "q={q}: got {got}, exact {exact}, err {err}");
+        }
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, *sorted.last().unwrap());
+        assert_eq!(snap.count, 10_000);
+    }
+
+    #[test]
+    fn identical_values_report_exactly() {
+        crate::set_enabled(true);
+        let h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(123_456_789);
+        }
+        let s = h.summary();
+        // min == max clamps every percentile to the exact value.
+        assert_eq!(
+            (s.p50, s.p90, s.p99, s.p999),
+            (123_456_789, 123_456_789, 123_456_789, 123_456_789)
+        );
+        assert_eq!(s.mean(), 123_456_789.0);
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn delta_isolates_an_interval() {
+        crate::set_enabled(true);
+        let h = LatencyHistogram::new();
+        for _ in 0..50 {
+            h.record(10);
+        }
+        let mark = h.snapshot();
+        for _ in 0..200 {
+            h.record(1000);
+        }
+        let d = h.snapshot().delta(&mark);
+        assert_eq!(d.count, 200);
+        assert_eq!(d.sum, 200 * 1000);
+        let s = d.summary();
+        // Every interval value was 1000; percentiles must land in its bucket.
+        assert!(s.p50 >= 938 && s.p50 <= 1063, "p50={}", s.p50);
+        assert!(s.min >= 938 && s.max <= 1063, "min={} max={}", s.min, s.max);
+    }
+}

@@ -1,0 +1,81 @@
+//! # sdc-obs
+//!
+//! The observability layer of the *Selective Data Contrast* stack: a
+//! dependency-free metrics registry ([`Counter`], [`Gauge`],
+//! [`LatencyHistogram`]), a zero-cost-when-disabled scope timer
+//! ([`ScopeTimer`] / [`scope!`]), a `MetricsSnapshot → JSON` exporter,
+//! and the deterministic primitives behind the open-loop load harness
+//! ([`ArrivalProcess`], [`AdmissionController`]).
+//!
+//! ## Strictly observe-only
+//!
+//! Nothing in this crate influences what the instrumented code
+//! computes: metrics are plain atomic counters updated with `Relaxed`
+//! ordering, and the scope timer only reads the clock. The stack's
+//! bit-identical-at-any-`SDC_THREADS` contract therefore holds with
+//! instrumentation enabled or disabled (enforced by
+//! `crates/serve/tests/observe_only.rs`).
+//!
+//! ## Cost model
+//!
+//! Recording is cheap enough to leave on in release builds: a handful
+//! of relaxed atomic RMWs per event, no locks, no allocation after a
+//! metric is interned. When recording is disabled (`SDC_OBS=0` or
+//! [`set_enabled`]`(false)`) every record path short-circuits on one
+//! relaxed load, and [`ScopeTimer::start`] skips reading the clock
+//! entirely — a disabled scope costs one branch.
+//!
+//! ```
+//! sdc_obs::set_enabled(true);
+//! {
+//!     let _t = sdc_obs::scope!("docs.example");
+//!     std::hint::black_box(2 + 2);
+//! }
+//! let snapshot = sdc_obs::global().snapshot();
+//! assert!(snapshot.histograms["docs.example"].count >= 1);
+//! ```
+
+#![deny(missing_docs)]
+
+mod admission;
+mod arrivals;
+mod hist;
+mod registry;
+mod scope;
+
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
+pub use arrivals::{ArrivalProcess, SplitMix64};
+pub use hist::{HistogramSnapshot, LatencyHistogram, LatencySummary};
+pub use registry::{global, Counter, Gauge, GaugeReading, MetricsSnapshot, Registry};
+pub use scope::ScopeTimer;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable controlling whether metrics record at startup.
+/// `0`, `false`, or `off` disable recording; anything else (including
+/// the variable being unset) leaves it enabled.
+pub const ENABLED_ENV: &str = "SDC_OBS";
+
+fn enabled_flag() -> &'static AtomicBool {
+    static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+    ENABLED.get_or_init(|| {
+        let on = match std::env::var(ENABLED_ENV) {
+            Ok(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "false" | "off"),
+            Err(_) => true,
+        };
+        AtomicBool::new(on)
+    })
+}
+
+/// Whether metric recording is currently enabled (one relaxed load).
+#[inline]
+pub fn enabled() -> bool {
+    enabled_flag().load(Ordering::Relaxed)
+}
+
+/// Turns metric recording on or off process-wide. Metrics stay
+/// registered either way; only recording is gated.
+pub fn set_enabled(on: bool) {
+    enabled_flag().store(on, Ordering::Relaxed);
+}

@@ -89,6 +89,7 @@ impl Snapshot {
     /// any single flipped byte surfaces as
     /// [`PersistError::ChecksumMismatch`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        let _parse_timer = sdc_obs::scope!("persist.parse");
         // Smallest valid file: magic + version + count + file CRC.
         if bytes.len() < MAGIC.len() + 4 + 4 + 4 {
             return Err(PersistError::Truncated { context: "snapshot header" });
@@ -197,6 +198,7 @@ impl Snapshot {
     ///
     /// Propagates IO failures; the temporary file is removed on error.
     pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), PersistError> {
+        let _write_timer = sdc_obs::scope!("persist.write");
         let path = path.as_ref();
         let io =
             |context: String| move |source: std::io::Error| PersistError::Io { context, source };

@@ -59,6 +59,16 @@ impl std::fmt::Display for RecvTimeoutError {
 
 impl std::error::Error for RecvTimeoutError {}
 
+/// Why a [`Sender::try_send`] did not enqueue its value. Carries the
+/// value back so callers can retry or shed it explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity; enqueueing would have blocked.
+    Full(T),
+    /// The receiver is gone.
+    Disconnected(T),
+}
+
 /// Creates a bounded channel with space for `capacity` in-flight items.
 ///
 /// A `capacity` of 1 gives classic double buffering: the producer works
@@ -76,6 +86,24 @@ impl<T> Sender<T> {
     /// Returns the value back if the receiver is gone.
     pub fn send(&self, value: T) -> Result<(), T> {
         self.inner.send(value).map_err(|e| e.0)
+    }
+
+    /// Sends `value` only if the channel has free capacity, never
+    /// blocking. This is the admission-control primitive: a producer
+    /// that must not buffer unboundedly sheds the value on
+    /// [`TrySendError::Full`] instead of queueing behind a slow
+    /// consumer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back inside [`TrySendError::Full`] when the
+    /// channel is at capacity, or [`TrySendError::Disconnected`] when
+    /// the receiver is gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        self.inner.try_send(value).map_err(|e| match e {
+            mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+            mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+        })
     }
 }
 
@@ -176,6 +204,18 @@ mod tests {
         assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(9));
         drop(tx);
         assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn try_send_sheds_on_a_full_channel() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        // Capacity exhausted: the value comes back instead of blocking.
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]

@@ -25,6 +25,17 @@
 //! construct private pools with [`Runtime::new`] and activate them with
 //! [`Runtime::install`].
 //!
+//! ## Instrumentation
+//!
+//! Dispatch is instrumented through `sdc-obs` (global registry):
+//! `runtime.dispatch` (wall time of one parallel dispatch),
+//! `runtime.queue_wait` (enqueue → first chunk claim), `runtime.chunk`
+//! (per-chunk body time), counters `runtime.jobs` / `runtime.chunks` /
+//! `runtime.serial_jobs`, and the `runtime.active_workers` occupancy
+//! gauge. All of it is observe-only — metrics never influence
+//! chunking, scheduling, or results — and collapses to a branch per
+//! event when recording is disabled (`SDC_OBS=0`).
+//!
 //! ```
 //! use sdc_runtime::Runtime;
 //!
@@ -53,6 +64,7 @@ use std::ptr::NonNull;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Environment variable controlling the global pool's thread count.
 pub const THREADS_ENV: &str = "SDC_THREADS";
@@ -75,6 +87,10 @@ struct Job {
     panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     done_lock: Mutex<()>,
     done_cv: Condvar,
+    /// Enqueue instant, captured only while metric recording is
+    /// enabled; the claimer of chunk 0 turns it into the
+    /// `runtime.queue_wait` observation.
+    enqueued: Option<Instant>,
 }
 
 unsafe impl Send for Job {}
@@ -89,6 +105,12 @@ impl Job {
             if i >= self.n_chunks {
                 return;
             }
+            if i == 0 {
+                if let Some(enqueued) = self.enqueued {
+                    sdc_obs::histogram!("runtime.queue_wait").record_duration(enqueued.elapsed());
+                }
+            }
+            let _chunk_timer = sdc_obs::scope!("runtime.chunk");
             let body = unsafe { self.body.as_ref() };
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(i))) {
                 let mut slot = self.panic_payload.lock().unwrap_or_else(|e| e.into_inner());
@@ -104,6 +126,21 @@ impl Job {
     fn exhausted(&self) -> bool {
         self.next.load(Ordering::SeqCst) >= self.n_chunks
     }
+}
+
+/// Runs `job.work()` with the `runtime.active_workers` occupancy gauge
+/// held high.
+fn work_occupied(job: &Job) {
+    let gauge = sdc_obs::gauge!("runtime.active_workers");
+    gauge.inc();
+    struct Release<'a>(&'a sdc_obs::Gauge);
+    impl Drop for Release<'_> {
+        fn drop(&mut self) {
+            self.0.dec();
+        }
+    }
+    let _release = Release(gauge);
+    job.work();
 }
 
 /// State shared between the pool handle and its workers.
@@ -181,7 +218,7 @@ impl Runtime {
                         // stays on it.
                         CURRENT.with(|c| *c.borrow_mut() = Some(pool.clone()));
                         while let Some(job) = pool.shared.next_job() {
-                            job.work();
+                            work_occupied(&job);
                         }
                     })
                     .expect("spawn runtime worker")
@@ -244,11 +281,15 @@ impl Pool {
             return;
         }
         if self.threads == 1 || n_chunks == 1 {
+            sdc_obs::counter!("runtime.serial_jobs").inc();
             for i in 0..n_chunks {
                 body(i);
             }
             return;
         }
+        let _dispatch_timer = sdc_obs::scope!("runtime.dispatch");
+        sdc_obs::counter!("runtime.jobs").inc();
+        sdc_obs::counter!("runtime.chunks").add(n_chunks as u64);
         // Erase the borrow; `Job` documents why this is sound.
         let body: NonNull<dyn Fn(usize) + Sync> = NonNull::from(body);
         let body: NonNull<dyn Fn(usize) + Sync> = unsafe { std::mem::transmute(body) };
@@ -260,6 +301,7 @@ impl Pool {
             panic_payload: Mutex::new(None),
             done_lock: Mutex::new(()),
             done_cv: Condvar::new(),
+            enqueued: sdc_obs::enabled().then(Instant::now),
         });
         {
             let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
@@ -270,7 +312,7 @@ impl Pool {
         // The submitting thread works too — this also guarantees
         // progress (and hence deadlock freedom) for nested dispatches
         // issued from worker threads.
-        job.work();
+        work_occupied(&job);
 
         let mut g = job.done_lock.lock().unwrap_or_else(|e| e.into_inner());
         while job.pending.load(Ordering::SeqCst) > 0 {
@@ -621,6 +663,26 @@ mod tests {
         let payload = result.unwrap_err();
         let msg = payload.downcast_ref::<String>().expect("assert message preserved");
         assert!(msg.contains("job 17 exploded"), "{msg}");
+    }
+
+    #[test]
+    fn dispatch_metrics_flow_into_the_global_registry() {
+        sdc_obs::set_enabled(true);
+        let before = sdc_obs::global().snapshot();
+        let jobs_before = before.counters.get("runtime.jobs").copied().unwrap_or(0);
+        let rt = Runtime::new(4);
+        rt.install(|| {
+            par_for(64, 4, |r| {
+                std::hint::black_box(r.len());
+            });
+        });
+        let after = sdc_obs::global().snapshot();
+        assert!(after.counters["runtime.jobs"] > jobs_before);
+        assert!(after.counters["runtime.chunks"] >= 16);
+        assert!(after.histograms["runtime.dispatch"].count >= 1);
+        assert!(after.histograms["runtime.queue_wait"].count >= 1);
+        assert!(after.histograms["runtime.chunk"].count >= 16);
+        assert!(after.gauges["runtime.active_workers"].max >= 1);
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!   coalescing, per-stream buffer shards, the multi-stream trainer).
 //! * [`persist`] — crash-safe checkpoint/restore: the checksummed
 //!   snapshot container and the `Persist` state-capture trait.
+//! * [`obs`] — the observability layer: the process-global metrics
+//!   registry (counters, gauges, log-bucketed latency histograms with
+//!   p50/p90/p99/p999), scope timers, seeded arrival processes, and
+//!   the virtual-backlog admission controller. Strictly observe-only;
+//!   disable recording with `SDC_OBS=0`.
 //!
 //! ```
 //! use sdc::core::{ContrastScoringPolicy, StreamTrainer, TrainerConfig};
@@ -41,6 +46,7 @@ pub use sdc_core as core;
 pub use sdc_data as data;
 pub use sdc_eval as eval;
 pub use sdc_nn as nn;
+pub use sdc_obs as obs;
 pub use sdc_persist as persist;
 pub use sdc_runtime as runtime;
 pub use sdc_serve as serve;

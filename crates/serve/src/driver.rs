@@ -98,9 +98,17 @@ impl MultiStreamTrainer {
         &self.shards
     }
 
-    /// A snapshot of the scoring service's coalescing counters.
+    /// A **live** snapshot of the scoring service's coalescing
+    /// counters and latency summaries (non-quiescing; see
+    /// [`ScoringService::stats_snapshot`]).
     pub fn serve_stats(&self) -> ServeStats {
-        self.service.stats()
+        self.service.stats_snapshot()
+    }
+
+    /// The underlying scoring service — e.g. for bracketing a round
+    /// with [`ScoringService::latency_histogram`] snapshots.
+    pub fn service(&self) -> &ScoringService {
+        &self.service
     }
 
     /// Captures the node's full serving state as a [`NodeSnapshot`]:

@@ -23,6 +23,22 @@
 //!   model against many streams: concurrent shard replacement through
 //!   the service, serial per-shard updates, then a model snapshot
 //!   published back to the service.
+//! * [`loadgen`] — a seeded **open-loop load harness**: deterministic
+//!   Poisson or bursty arrival schedules drive droppable requests at
+//!   the service through its admission control, reporting per-round
+//!   latency percentiles and shed counts ([`run_open_loop`]).
+//!
+//! ## Observability & admission control
+//!
+//! The service is instrumented with `sdc-obs`: every answered request
+//! records its enqueue → reply latency into a per-service histogram
+//! ([`ServeStats::latency`]), deadline flushes record their wall-clock
+//! overshoot ([`ServeStats::deadline_lag`]), and
+//! [`ScoringService::stats_snapshot`] reads it all live without
+//! quiescing the batcher. Overload is bounded, never buffered:
+//! droppable requests ([`ScoringClient::try_submit`]) are shed with a
+//! typed [`ShedCause`] when the request queue is full or the batcher's
+//! pending-samples bound ([`ServeConfig::max_pending`]) is reached.
 //!
 //! ## Determinism contract
 //!
@@ -40,11 +56,16 @@
 #![deny(missing_docs)]
 
 mod driver;
+pub mod loadgen;
 mod service;
 mod shard;
 mod snapshot;
 
 pub use driver::{MultiStreamTrainer, RoundReport};
-pub use service::{ScoreTicket, ScoringClient, ScoringService, ServeConfig, ServeStats};
+pub use loadgen::{run_open_loop, LoadReport, LoadgenConfig, RoundLatency};
+pub use service::{
+    ScoreOutcome, ScoreTicket, ScoringClient, ScoringService, ServeComposition, ServeConfig,
+    ServeStats, ShedCause, SubmitOutcome,
+};
 pub use shard::{ShardedBuffer, StreamShard};
 pub use snapshot::NodeSnapshot;

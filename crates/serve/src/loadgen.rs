@@ -1,0 +1,198 @@
+//! Open-loop load harness for a [`ScoringService`].
+//!
+//! A **closed-loop** driver (submit, wait, submit …) self-throttles:
+//! when the service slows down, the driver slows down with it, and the
+//! measured latency flatters the system (coordinated omission). This
+//! harness is **open-loop**: arrival times are drawn up front from a
+//! seeded [`ArrivalProcess`] and requests are issued *on schedule*
+//! whether or not earlier ones have been answered, so queueing delay
+//! under overload shows up in the percentiles instead of vanishing
+//! into the generator.
+//!
+//! ## Determinism
+//!
+//! Everything random is derived from [`LoadgenConfig::seed`]:
+//!
+//! * the arrival **schedule** is `process.schedule(seed, n)` — a pure
+//!   function of (process, seed, n);
+//! * the shed **decisions** are computed up front by the virtual-time
+//!   [`AdmissionController`] over that schedule
+//!   ([`AdmissionController::decide_all`]) — a pure function of
+//!   (schedule, admission config), deliberately *not* of wall-clock
+//!   execution.
+//!
+//! Same seed ⇒ same arrival schedule *and* same shed decisions, every
+//! run, every machine ([`LoadReport::decision_fingerprint`] makes the
+//! comparison one integer). Admitted requests are submitted as
+//! **guaranteed** requests ([`ScoringClient::submit`]) so the service
+//! cannot add wall-clock-dependent sheds of its own; the service-side
+//! typed-shed path ([`ScoringClient::try_submit`]) is exercised by the
+//! admission tests instead. Only the reported *latencies* are
+//! wall-clock (that is the quantity under measurement).
+//!
+//! [`ScoringClient::submit`]: crate::ScoringClient::submit
+//! [`ScoringClient::try_submit`]: crate::ScoringClient::try_submit
+
+use std::time::{Duration, Instant};
+
+use sdc_data::Sample;
+use sdc_obs::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, ArrivalProcess, LatencySummary,
+};
+use sdc_tensor::Result;
+
+use crate::service::{ScoreTicket, ScoringService, ServeStats};
+
+/// Tuning knobs of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Seed for the arrival schedule (and therefore, via the virtual
+    /// admission controller, the shed decisions).
+    pub seed: u64,
+    /// Number of reporting rounds.
+    pub rounds: usize,
+    /// Arrivals per round.
+    pub requests_per_round: usize,
+    /// Number of round-robin client streams issuing the requests
+    /// (stream ids `0..streams`).
+    pub streams: usize,
+    /// The inter-arrival process (Poisson or bursty).
+    pub process: ArrivalProcess,
+    /// Virtual-backlog admission bound applied to the schedule.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            rounds: 4,
+            requests_per_round: 32,
+            streams: 4,
+            process: ArrivalProcess::Poisson { mean_gap_nanos: 200_000 },
+            admission: AdmissionConfig { cost_nanos: 150_000, max_backlog_nanos: 2_000_000 },
+        }
+    }
+}
+
+/// Per-round outcome of an open-loop run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundLatency {
+    /// Arrivals scheduled in this round.
+    pub issued: u64,
+    /// Arrivals admitted (and scored).
+    pub admitted: u64,
+    /// Arrivals shed by the admission controller.
+    pub shed: u64,
+    /// Enqueue → reply latency percentiles over exactly this round's
+    /// admitted requests (a [`sdc_obs::HistogramSnapshot::delta`] of
+    /// the service histogram bracketing the round). All zeros while
+    /// `sdc-obs` recording is disabled.
+    pub latency: LatencySummary,
+}
+
+/// Everything one open-loop run produced.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Absolute arrival offsets (nanoseconds from run start), one per
+    /// scheduled request.
+    pub schedule: Vec<u64>,
+    /// The admission decision for each scheduled arrival, index-aligned
+    /// with `schedule`.
+    pub decisions: Vec<AdmissionDecision>,
+    /// Per-round latency and shed accounting.
+    pub rounds: Vec<RoundLatency>,
+    /// The service's own counters at the end of the run.
+    pub service: ServeStats,
+}
+
+impl LoadReport {
+    /// Total admitted arrivals across all rounds.
+    pub fn total_admitted(&self) -> u64 {
+        self.rounds.iter().map(|r| r.admitted).sum()
+    }
+
+    /// Total shed arrivals across all rounds.
+    pub fn total_shed(&self) -> u64 {
+        self.rounds.iter().map(|r| r.shed).sum()
+    }
+
+    /// An FNV-1a fold of the decision sequence. Two runs with the same
+    /// seed and config must report the same fingerprint — the one-line
+    /// reproducibility check the example and CI smoke assert on.
+    pub fn decision_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for decision in &self.decisions {
+            let byte = match decision {
+                AdmissionDecision::Admit => 1u64,
+                AdmissionDecision::Shed => 2u64,
+            };
+            h ^= byte;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Drives `service` with an open-loop arrival schedule, returning the
+/// per-round percentiles and shed accounting.
+///
+/// `make_samples` produces the payload for the `i`-th scheduled
+/// request (admitted requests only — shed arrivals never materialise a
+/// payload). Requests round-robin over `streams` dedicated clients; a
+/// round's tickets are all awaited before its latency delta is read,
+/// so a round's summary covers exactly its own requests.
+///
+/// # Errors
+///
+/// Propagates scoring errors and service termination from any awaited
+/// ticket.
+pub fn run_open_loop(
+    service: &ScoringService,
+    config: &LoadgenConfig,
+    mut make_samples: impl FnMut(u64) -> Vec<Sample>,
+) -> Result<LoadReport> {
+    let total = config.rounds * config.requests_per_round;
+    let schedule = config.process.schedule(config.seed, total);
+    let decisions = AdmissionController::decide_all(&schedule, config.admission);
+
+    let streams = config.streams.max(1);
+    let clients: Vec<_> = (0..streams).map(|s| service.client(s as u64)).collect();
+
+    let start = Instant::now();
+    let mut rounds = Vec::with_capacity(config.rounds);
+    for round in 0..config.rounds {
+        let before = service.latency_histogram();
+        let base = round * config.requests_per_round;
+        let mut tickets: Vec<ScoreTicket> = Vec::with_capacity(config.requests_per_round);
+        let mut admitted = 0u64;
+        let mut shed = 0u64;
+        for i in base..base + config.requests_per_round {
+            let offset = Duration::from_nanos(schedule[i]);
+            if let Some(wait) = (start + offset).checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            match decisions[i] {
+                AdmissionDecision::Shed => shed += 1,
+                AdmissionDecision::Admit => {
+                    let client = &clients[i % streams];
+                    tickets.push(client.submit(make_samples(i as u64))?);
+                    admitted += 1;
+                }
+            }
+        }
+        for ticket in tickets {
+            ticket.wait()?;
+        }
+        let after = service.latency_histogram();
+        rounds.push(RoundLatency {
+            issued: config.requests_per_round as u64,
+            admitted,
+            shed,
+            latency: after.delta(&before).summary(),
+        });
+    }
+    drop(clients);
+
+    Ok(LoadReport { schedule, decisions, rounds, service: service.stats_snapshot() })
+}

@@ -38,7 +38,8 @@ use std::time::{Duration, Instant};
 use sdc_core::score::contrast_scores_shared;
 use sdc_core::ContrastiveModel;
 use sdc_data::{Sample, StreamId};
-use sdc_runtime::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use sdc_obs::{HistogramSnapshot, LatencyHistogram, LatencySummary};
+use sdc_runtime::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use sdc_runtime::Runtime;
 use sdc_tensor::{Result, TensorError};
 
@@ -61,6 +62,15 @@ pub struct ServeConfig {
     /// `SDC_THREADS`). Tests pin this to assert thread-count
     /// invariance.
     pub threads: Option<usize>,
+    /// Admission bound for **droppable** requests
+    /// ([`ScoringClient::try_submit`]): when the batcher already holds
+    /// at least this many pending samples, an arriving droppable
+    /// request is answered with a typed [`ShedCause::Backlog`] reply
+    /// instead of joining the queue — pending work is bounded, never
+    /// buffered without limit. Guaranteed requests
+    /// ([`ScoringClient::submit`] / [`ScoringClient::score`]) are
+    /// exempt: they block on the bounded request queue instead.
+    pub max_pending: usize,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +80,7 @@ impl Default for ServeConfig {
             flush_deadline: Duration::from_millis(20),
             queue_depth: 64,
             threads: None,
+            max_pending: 256,
         }
     }
 }
@@ -82,7 +93,9 @@ enum FlushReason {
     Deadline,
 }
 
-/// Counters published by the batcher thread (all monotone).
+/// Counters published by the batcher thread (all monotone), plus the
+/// per-service latency histograms. Held per instance — two services in
+/// one process never mix observations.
 #[derive(Debug, Default)]
 struct StatsInner {
     requests: AtomicU64,
@@ -92,12 +105,53 @@ struct StatsInner {
     round_flushes: AtomicU64,
     deadline_flushes: AtomicU64,
     dropped_replies: AtomicU64,
+    shed_backlog: AtomicU64,
+    shed_queue_full: AtomicU64,
+    /// Enqueue → reply wall-clock per answered scoring request.
+    latency: LatencyHistogram,
+    /// How late past `flush_deadline` each deadline flush actually
+    /// fired (the liveness overshoot under load).
+    deadline_lag: LatencyHistogram,
 }
 
-/// A snapshot of the service's bookkeeping counters.
+/// Why a droppable request was shed instead of scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedCause {
+    /// The bounded request queue was full at submit time
+    /// ([`ScoringClient::try_submit`] refused to block).
+    QueueFull,
+    /// The batcher already held [`ServeConfig::max_pending`] samples;
+    /// admission control refused to grow the backlog.
+    Backlog,
+}
+
+/// The batcher's answer to one scoring request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScoreOutcome {
+    /// The request rode a coalesced batch; its score slice.
+    Scored(Vec<f32>),
+    /// The request was shed by admission control (droppable requests
+    /// only) — a typed reply, never silent unbounded buffering.
+    Shed(ShedCause),
+}
+
+/// Result of a non-blocking [`ScoringClient::try_submit`].
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// The request joined the queue; await the reply via the ticket.
+    Enqueued(ScoreTicket),
+    /// The request was shed immediately (always
+    /// [`ShedCause::QueueFull`] at this stage).
+    Shed(ShedCause),
+}
+
+/// A snapshot of the service's bookkeeping counters and latency
+/// summaries. Obtained live (non-quiescing) via
+/// [`ScoringService::stats_snapshot`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeStats {
-    /// Scoring requests answered (including error replies).
+    /// Scoring requests answered with scores or an error (shed replies
+    /// are counted separately in the `shed_*` fields).
     pub requests: u64,
     /// Samples scored across all batches.
     pub samples: u64,
@@ -112,6 +166,39 @@ pub struct ServeStats {
     /// Replies that could not be delivered because the requesting
     /// stream dropped its ticket mid-flight.
     pub dropped_replies: u64,
+    /// Droppable requests shed by the batcher's pending-samples bound.
+    pub shed_backlog: u64,
+    /// Droppable requests shed at submit time on a full request queue.
+    pub shed_queue_full: u64,
+    /// Enqueue → reply latency of answered scoring requests
+    /// (nanoseconds; empty while `sdc-obs` recording is disabled).
+    pub latency: LatencySummary,
+    /// Wall-clock overshoot of each deadline flush past
+    /// [`ServeConfig::flush_deadline`] (nanoseconds).
+    pub deadline_lag: LatencySummary,
+}
+
+/// The count-derived subset of [`ServeStats`]: every field that is a
+/// pure function of the request/flush sequence, excluding wall-clock
+/// measurements. This is the projection that is reproducible run to
+/// run for a fixed stream set of blocking clients (the latency fields
+/// are wall-clock and never are).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeComposition {
+    /// See [`ServeStats::requests`].
+    pub requests: u64,
+    /// See [`ServeStats::samples`].
+    pub samples: u64,
+    /// See [`ServeStats::batches`].
+    pub batches: u64,
+    /// See [`ServeStats::size_flushes`].
+    pub size_flushes: u64,
+    /// See [`ServeStats::round_flushes`].
+    pub round_flushes: u64,
+    /// See [`ServeStats::deadline_flushes`].
+    pub deadline_flushes: u64,
+    /// See [`ServeStats::dropped_replies`].
+    pub dropped_replies: u64,
 }
 
 impl ServeStats {
@@ -122,6 +209,20 @@ impl ServeStats {
             0.0
         } else {
             self.samples as f64 / self.batches as f64
+        }
+    }
+
+    /// The reproducible, count-derived projection of these stats (what
+    /// the equivalence suites compare across runs).
+    pub fn composition(&self) -> ServeComposition {
+        ServeComposition {
+            requests: self.requests,
+            samples: self.samples,
+            batches: self.batches,
+            size_flushes: self.size_flushes,
+            round_flushes: self.round_flushes,
+            deadline_flushes: self.deadline_flushes,
+            dropped_replies: self.dropped_replies,
         }
     }
 }
@@ -139,7 +240,11 @@ struct ScoreRequest {
     /// flush serves the request it belonged to).
     arrived: Instant,
     samples: Vec<Sample>,
-    reply: Sender<Result<Vec<f32>>>,
+    /// Whether admission control may shed this request
+    /// ([`ScoringClient::try_submit`] sets it; blocking submits are
+    /// guaranteed and never shed).
+    droppable: bool,
+    reply: Sender<Result<ScoreOutcome>>,
 }
 
 /// Control + data messages accepted by the batcher thread.
@@ -177,6 +282,7 @@ fn service_gone() -> TensorError {
 pub struct ScoringClient {
     stream: StreamId,
     tx: Sender<Request>,
+    stats: Arc<StatsInner>,
 }
 
 /// An in-flight scoring request. Dropping the ticket abandons the
@@ -184,18 +290,48 @@ pub struct ScoringClient {
 /// undeliverable reply in [`ServeStats::dropped_replies`].
 #[derive(Debug)]
 pub struct ScoreTicket {
-    rx: Receiver<Result<Vec<f32>>>,
+    rx: Receiver<Result<ScoreOutcome>>,
+}
+
+fn request_shed(cause: ShedCause) -> TensorError {
+    TensorError::InvalidArgument {
+        op: "scoring_service",
+        message: format!(
+            "request shed by admission control ({})",
+            match cause {
+                ShedCause::QueueFull => "queue full",
+                ShedCause::Backlog => "backlog bound",
+            }
+        ),
+    }
 }
 
 impl ScoreTicket {
     /// Blocks until the coalesced batch containing this request has
-    /// been scored, returning this request's scores.
+    /// been scored, returning this request's scores. A shed reply
+    /// (possible only for droppable requests) surfaces as an error;
+    /// droppable submitters should prefer [`ScoreTicket::wait_outcome`]
+    /// to observe the typed [`ShedCause`].
     ///
     /// # Errors
     ///
     /// Propagates scoring errors, and reports the service terminating
     /// before replying.
     pub fn wait(self) -> Result<Vec<f32>> {
+        match self.wait_outcome()? {
+            ScoreOutcome::Scored(scores) => Ok(scores),
+            ScoreOutcome::Shed(cause) => Err(request_shed(cause)),
+        }
+    }
+
+    /// Blocks until the service answers, returning the typed outcome —
+    /// scores, or the [`ShedCause`] if admission control shed the
+    /// request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scoring errors and service termination.
+    pub fn wait_outcome(self) -> Result<ScoreOutcome> {
         self.rx.recv().map_err(|_| service_gone())?
     }
 }
@@ -212,17 +348,45 @@ impl ScoringClient {
     ///
     /// Reports the service having terminated.
     pub fn submit(&self, samples: Vec<Sample>) -> Result<ScoreTicket> {
+        let (request, ticket) = self.make_request(samples, false);
+        self.tx.send(Request::Score(request)).map_err(|_| service_gone())?;
+        Ok(ticket)
+    }
+
+    /// Submits `samples` as a **droppable** request without ever
+    /// blocking: if the bounded request queue is full the request is
+    /// shed right here with [`ShedCause::QueueFull`], and the batcher
+    /// may later shed it with [`ShedCause::Backlog`] (surfaced through
+    /// [`ScoreTicket::wait_outcome`]) if its pending-samples bound is
+    /// reached. This is the open-loop producer's submit path: overload
+    /// turns into typed sheds, not unbounded buffering.
+    ///
+    /// # Errors
+    ///
+    /// Reports the service having terminated.
+    pub fn try_submit(&self, samples: Vec<Sample>) -> Result<SubmitOutcome> {
+        let (request, ticket) = self.make_request(samples, true);
+        match self.tx.try_send(Request::Score(request)) {
+            Ok(()) => Ok(SubmitOutcome::Enqueued(ticket)),
+            Err(TrySendError::Full(_)) => {
+                self.stats.shed_queue_full.fetch_add(1, Ordering::SeqCst);
+                Ok(SubmitOutcome::Shed(ShedCause::QueueFull))
+            }
+            Err(TrySendError::Disconnected(_)) => Err(service_gone()),
+        }
+    }
+
+    fn make_request(&self, samples: Vec<Sample>, droppable: bool) -> (ScoreRequest, ScoreTicket) {
         let (rtx, rrx) = bounded(1);
-        self.tx
-            .send(Request::Score(ScoreRequest {
-                stream: self.stream,
-                seq: 0, // assigned by the batcher on receipt
-                arrived: Instant::now(),
-                samples,
-                reply: rtx,
-            }))
-            .map_err(|_| service_gone())?;
-        Ok(ScoreTicket { rx: rrx })
+        let request = ScoreRequest {
+            stream: self.stream,
+            seq: 0, // assigned by the batcher on receipt
+            arrived: Instant::now(),
+            samples,
+            droppable,
+            reply: rtx,
+        };
+        (request, ScoreTicket { rx: rrx })
     }
 
     /// Scores `samples` through the service, blocking until the
@@ -309,7 +473,7 @@ impl ScoringService {
     pub fn client(&self, stream: StreamId) -> ScoringClient {
         let tx = self.tx.as_ref().expect("sender lives until drop").clone();
         let _ = tx.send(Request::Register(stream));
-        ScoringClient { stream, tx }
+        ScoringClient { stream, tx, stats: Arc::clone(&self.stats) }
     }
 
     /// Publishes a fresh model snapshot; batches cut after this call
@@ -336,8 +500,12 @@ impl ScoringService {
         rrx.recv().map_err(|_| service_gone())
     }
 
-    /// A snapshot of the service's counters.
-    pub fn stats(&self) -> ServeStats {
+    /// A **live** snapshot of the service's counters and latency
+    /// summaries: a lock-free read of the batcher's atomics, safe to
+    /// call from any thread at any time — it never quiesces, blocks,
+    /// or perturbs in-flight batching. This is how per-round tables
+    /// and dashboards read a running service.
+    pub fn stats_snapshot(&self) -> ServeStats {
         ServeStats {
             requests: self.stats.requests.load(Ordering::SeqCst),
             samples: self.stats.samples.load(Ordering::SeqCst),
@@ -346,7 +514,31 @@ impl ScoringService {
             round_flushes: self.stats.round_flushes.load(Ordering::SeqCst),
             deadline_flushes: self.stats.deadline_flushes.load(Ordering::SeqCst),
             dropped_replies: self.stats.dropped_replies.load(Ordering::SeqCst),
+            shed_backlog: self.stats.shed_backlog.load(Ordering::SeqCst),
+            shed_queue_full: self.stats.shed_queue_full.load(Ordering::SeqCst),
+            latency: self.stats.latency.summary(),
+            deadline_lag: self.stats.deadline_lag.summary(),
         }
+    }
+
+    /// A snapshot of the service's counters (alias of
+    /// [`ScoringService::stats_snapshot`], kept for existing callers).
+    pub fn stats(&self) -> ServeStats {
+        self.stats_snapshot()
+    }
+
+    /// A full (bucket-level) snapshot of the request-latency histogram.
+    /// Two snapshots bracketing an interval yield that interval's
+    /// percentiles via [`HistogramSnapshot::delta`] — the open-loop
+    /// harness computes its per-round p50/p90/p99/p999 this way.
+    pub fn latency_histogram(&self) -> HistogramSnapshot {
+        self.stats.latency.snapshot()
+    }
+
+    /// A full (bucket-level) snapshot of the deadline-overshoot
+    /// histogram (see [`ServeStats::deadline_lag`]).
+    pub fn deadline_lag_histogram(&self) -> HistogramSnapshot {
+        self.stats.deadline_lag.snapshot()
     }
 }
 
@@ -411,6 +603,16 @@ impl Batcher {
                         self.reply(&request, Ok(Vec::new()));
                         continue;
                     }
+                    // Admission control: a droppable request that would
+                    // push pending work past `max_pending` samples is
+                    // answered with a typed shed instead of queued —
+                    // backlog stays bounded no matter how fast an
+                    // open-loop producer submits.
+                    if request.droppable && self.backlog_exceeded(&request) {
+                        self.stats.shed_backlog.fetch_add(1, Ordering::SeqCst);
+                        self.send_reply(&request, Ok(ScoreOutcome::Shed(ShedCause::Backlog)));
+                        continue;
+                    }
                     request.seq = self.next_seq;
                     self.next_seq += 1;
                     self.pending.push(request);
@@ -435,6 +637,16 @@ impl Batcher {
                 }
                 Some(Request::Shutdown) => break,
                 None => {
+                    // A genuine deadline flush (not a shutdown drain):
+                    // record how far past the configured deadline it
+                    // actually fired — the liveness overshoot.
+                    if sdc_obs::enabled() {
+                        if let Some(oldest) = self.oldest_arrival() {
+                            let target = oldest + self.config.flush_deadline;
+                            let lag = Instant::now().saturating_duration_since(target);
+                            self.stats.deadline_lag.record_duration(lag);
+                        }
+                    }
                     self.flush_all(FlushReason::Deadline);
                 }
             }
@@ -532,8 +744,25 @@ impl Batcher {
         }
     }
 
+    /// Whether admitting `request` would push pending work past the
+    /// droppable-request backlog bound.
+    fn backlog_exceeded(&self, request: &ScoreRequest) -> bool {
+        let pending_samples: usize = self.pending.iter().map(|r| r.samples.len()).sum();
+        pending_samples + request.samples.len() > self.config.max_pending
+    }
+
+    /// Answers one scored (or errored) request, recording its
+    /// enqueue → reply latency. Shed replies go through
+    /// [`Batcher::send_reply`] directly and are not latency samples.
     fn reply(&self, request: &ScoreRequest, result: Result<Vec<f32>>) {
-        if request.reply.send(result).is_err() {
+        if sdc_obs::enabled() {
+            self.stats.latency.record_duration(request.arrived.elapsed());
+        }
+        self.send_reply(request, result.map(ScoreOutcome::Scored));
+    }
+
+    fn send_reply(&self, request: &ScoreRequest, outcome: Result<ScoreOutcome>) {
+        if request.reply.send(outcome).is_err() {
             self.stats.dropped_replies.fetch_add(1, Ordering::SeqCst);
         }
     }
@@ -622,5 +851,76 @@ mod tests {
         let client = service.client(0);
         drop(service);
         assert!(client.score(samples(2, 7)).is_err());
+    }
+
+    /// Droppable requests past the pending-samples bound get a typed
+    /// `Backlog` shed, deterministically: the batcher is pinned (a
+    /// silent registered stream blocks round flushes, `max_batch` and
+    /// the deadline are out of reach), so admission depends only on
+    /// the FIFO arrival order — 2 admitted, 3 shed, every run.
+    #[test]
+    fn droppable_requests_past_the_backlog_bound_are_shed() {
+        let service = ScoringService::start(
+            tiny_model(1),
+            ServeConfig {
+                max_batch: 1000,
+                flush_deadline: Duration::from_secs(600),
+                queue_depth: 64,
+                threads: None,
+                max_pending: 2,
+            },
+        );
+        let silent = service.client(0);
+        let client = service.client(1);
+
+        let mut tickets = Vec::new();
+        for i in 0..5u64 {
+            match client.try_submit(samples(1, 10 + i)).unwrap() {
+                SubmitOutcome::Enqueued(t) => tickets.push(t),
+                SubmitOutcome::Shed(cause) => panic!("queue cannot fill here: {cause:?}"),
+            }
+        }
+        // Sheds reply immediately; admitted requests stay pending until
+        // the silent stream goes away and the round completes.
+        let (admitted, shed): (Vec<_>, Vec<_>) =
+            tickets.into_iter().enumerate().partition(|(i, _)| *i < 2);
+        for (_, ticket) in shed {
+            assert_eq!(
+                ticket.wait_outcome().unwrap(),
+                ScoreOutcome::Shed(ShedCause::Backlog),
+                "requests 2..5 must be shed by the backlog bound"
+            );
+        }
+        drop(silent);
+        for (_, ticket) in admitted {
+            match ticket.wait_outcome().unwrap() {
+                ScoreOutcome::Scored(scores) => assert_eq!(scores.len(), 1),
+                ScoreOutcome::Shed(cause) => panic!("admitted request shed: {cause:?}"),
+            }
+        }
+        let stats = service.stats_snapshot();
+        assert_eq!(stats.shed_backlog, 3, "{stats:?}");
+        assert_eq!(stats.requests, 2, "sheds are not answered requests: {stats:?}");
+        assert_eq!(stats.samples, 2, "{stats:?}");
+    }
+
+    /// Every answered request contributes one enqueue → reply latency
+    /// observation, readable live through `stats_snapshot`.
+    #[test]
+    fn answered_requests_record_latency_observations() {
+        if !sdc_obs::enabled() {
+            return; // SDC_OBS=0 in the environment: nothing to assert
+        }
+        let service = ScoringService::start(tiny_model(1), ServeConfig::default());
+        let client = service.client(0);
+        for i in 0..3u64 {
+            client.score(samples(2, 20 + i)).unwrap();
+        }
+        let stats = service.stats_snapshot();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.latency.count, 3, "{stats:?}");
+        assert!(stats.latency.p50 >= stats.latency.min, "{stats:?}");
+        assert!(stats.latency.max >= stats.latency.p999, "{stats:?}");
+        assert_eq!(stats.composition(), stats.composition());
     }
 }

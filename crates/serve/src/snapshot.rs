@@ -78,6 +78,7 @@ impl NodeSnapshot {
         shards: &ShardedBuffer,
         clients: &[StreamId],
     ) -> Self {
+        let _capture_timer = sdc_obs::scope!("persist.capture");
         let mut writer = SnapshotWriter::new();
 
         let mut meta = StateWriter::new();
@@ -174,6 +175,7 @@ impl NodeSnapshot {
         trainer: &mut StreamTrainer,
         shards: &mut ShardedBuffer,
     ) -> Result<Vec<StreamId>, PersistError> {
+        let _restore_timer = sdc_obs::scope!("persist.restore");
         // One parse (CRC walk + section copies) serves the whole
         // restore; `stream_sets` is for callers that only want meta.
         let parsed = Snapshot::from_bytes(&self.bytes)?;

@@ -165,7 +165,13 @@ fn fixed_stream_set_produces_reproducible_batch_composition() {
     };
     let (stats_a, scores_a) = run();
     let (stats_b, scores_b) = run();
-    assert_eq!(stats_a, stats_b, "batch composition must be reproducible");
+    // Compare the count-derived projection: the latency summaries are
+    // wall-clock measurements and legitimately differ run to run.
+    assert_eq!(
+        stats_a.composition(),
+        stats_b.composition(),
+        "batch composition must be reproducible"
+    );
     assert_eq!(stats_a.batches, 5, "one coalesced batch per round: {stats_a:?}");
     assert_eq!(stats_a.round_flushes, 5, "{stats_a:?}");
     assert_eq!(stats_a.deadline_flushes, 0, "healthy streams never hit the deadline: {stats_a:?}");

@@ -125,6 +125,11 @@ fn multi_stream_rounds_are_reproducible() {
     let (losses_a, stats_a) = run();
     let (losses_b, stats_b) = run();
     assert_eq!(losses_a, losses_b, "multi-stream training must be reproducible");
-    assert_eq!(stats_a, stats_b, "batch composition must be reproducible");
+    // Count-derived projection only: latency summaries are wall-clock.
+    assert_eq!(
+        stats_a.composition(),
+        stats_b.composition(),
+        "batch composition must be reproducible"
+    );
     assert_eq!(stats_a.deadline_flushes, 0, "{stats_a:?}");
 }

@@ -1,0 +1,82 @@
+//! The observability layer's core contract: metrics are strictly
+//! **observe-only**. A served training run produces bit-identical
+//! losses, buffer ids, and buffered score bits whether `sdc-obs`
+//! recording is enabled or disabled — at 1, 2, and 7 threads.
+//!
+//! Lives in its own integration-test binary because it toggles the
+//! process-wide recording flag, which would race any parallel test
+//! asserting on recorded counts.
+
+use sdc_core::model::ModelConfig;
+use sdc_core::policy::ContrastScoringPolicy;
+use sdc_core::TrainerConfig;
+use sdc_data::stream::TemporalStream;
+use sdc_data::synth::{SynthConfig, SynthDataset};
+use sdc_nn::models::EncoderConfig;
+use sdc_runtime::Runtime;
+use sdc_serve::{MultiStreamTrainer, ServeConfig};
+
+const ROUNDS: usize = 4;
+
+fn config() -> TrainerConfig {
+    TrainerConfig {
+        buffer_size: 4,
+        model: ModelConfig {
+            encoder: EncoderConfig::tiny(),
+            projection_hidden: 8,
+            projection_dim: 4,
+            seed: 21,
+        },
+        seed: 21,
+        ..TrainerConfig::default()
+    }
+}
+
+fn stream(seed: u64) -> TemporalStream {
+    let ds = SynthDataset::new(SynthConfig {
+        classes: 3,
+        height: 8,
+        width: 8,
+        ..SynthConfig::default()
+    });
+    TemporalStream::new(ds, 4, seed)
+}
+
+/// (loss bits per step, buffered sample ids, buffered score bits).
+type Fingerprint = (Vec<u32>, Vec<u64>, Vec<u32>);
+
+fn served_run(threads: usize) -> Fingerprint {
+    Runtime::new(threads).install(|| {
+        let mut driver = MultiStreamTrainer::new(
+            config(),
+            ContrastScoringPolicy::new(),
+            ServeConfig { threads: Some(threads), ..ServeConfig::default() },
+        );
+        let mut source = stream(77);
+        let mut losses = Vec::new();
+        for _ in 0..ROUNDS {
+            let segment = source.next_segment(config().buffer_size).unwrap();
+            let reports = driver.run_round(vec![(0, segment)]).unwrap();
+            losses.push(reports[0].loss.to_bits());
+        }
+        let shard = driver.shards().shard(0).unwrap();
+        let ids = shard.buffer().entries().iter().map(|e| e.sample.id).collect();
+        let scores = shard.buffer().entries().iter().map(|e| e.score.to_bits()).collect();
+        (losses, ids, scores)
+    })
+}
+
+#[test]
+fn instrumentation_never_changes_results() {
+    for threads in [1usize, 2, 7] {
+        sdc_obs::set_enabled(true);
+        let on = served_run(threads);
+        sdc_obs::set_enabled(false);
+        let off = served_run(threads);
+        sdc_obs::set_enabled(true);
+        assert_eq!(
+            on, off,
+            "metrics must be observe-only: enabled vs disabled diverged at {threads} threads"
+        );
+    }
+}

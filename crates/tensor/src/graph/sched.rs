@@ -93,6 +93,7 @@ impl Graph {
     /// node's gradient computation fails. On error every gradient slot
     /// is cleared, so callers can never observe a half-swept tape.
     pub fn backward(&mut self, loss: VarId) -> Result<()> {
+        let _sweep_timer = sdc_obs::scope!("tensor.backward.sweep");
         self.seed_loss(loss)?;
         let schedule = levels(&self.nodes, loss.0);
         // Buffered contributions per target node, tagged with the
@@ -101,6 +102,7 @@ impl Graph {
         pending.resize_with(loss.0 + 1, Vec::new);
 
         for bucket in &schedule {
+            let _level_timer = sdc_obs::scope!("tensor.backward.level");
             // Flush: this level's gradients are complete once buffered
             // contributions land, in descending-consumer order (stable,
             // so one consumer's multiple contributions keep their

@@ -294,11 +294,16 @@ fn blocked_unchecked(
     // SAFETY: `MaybeUninit<f32>` needs no initialization.
     unsafe { data.set_len(n * m) };
 
+    let _gemm_timer = sdc_obs::scope!("tensor.gemm");
     let aref = mat_ref(a, trans_a);
     let bref = mat_ref(b, trans_b);
-    let packed_b = pack_b(bref, k, m);
+    let packed_b = {
+        let _t = sdc_obs::scope!("tensor.gemm.pack_b");
+        pack_b(bref, k, m)
+    };
 
     par::dispatch_chunks(&mut data, MC * m, n * k * m, |chunk_index, rows| {
+        let _t = sdc_obs::scope!("tensor.gemm.kernel");
         fill_chunk(chunk_index * MC, rows, m, k, aref, &packed_b);
     });
 

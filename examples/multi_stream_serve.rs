@@ -78,6 +78,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.size_flushes,
         stats.deadline_flushes,
     );
+    println!(
+        "  request latency: p50 {:.1}us p90 {:.1}us p99 {:.1}us p999 {:.1}us (n={})",
+        stats.latency.p50 as f64 / 1_000.0,
+        stats.latency.p90 as f64 / 1_000.0,
+        stats.latency.p99 as f64 / 1_000.0,
+        stats.latency.p999 as f64 / 1_000.0,
+        stats.latency.count,
+    );
     drop(clients);
     drop(service);
 
@@ -92,6 +100,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         MultiStreamTrainer::new(config, ContrastScoringPolicy::new(), ServeConfig::default());
     let mut sources: Vec<TemporalStream> = (0..streams).map(|i| stream(100 + i as u64)).collect();
     println!("\ntraining one shared model against {streams} buffer shards:");
+    println!(
+        "  {:>5} {:>9} {:>8} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        "round", "loss", "requests", "batches", "p50_us", "p90_us", "p99_us", "p999_us"
+    );
+    let mut last_hist = driver.service().latency_histogram();
     for round in 0..6 {
         let segments: Vec<(StreamId, Vec<_>)> = sources
             .iter_mut()
@@ -101,7 +114,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let reports = driver.run_round(segments)?;
         let mean_loss: f32 =
             reports.iter().map(|r| r.loss).sum::<f32>() / reports.len().max(1) as f32;
-        println!("  round {round}: mean loss {mean_loss:.3} over {} shards", reports.len());
+        // A live (non-quiescing) snapshot plus a histogram delta
+        // bracketing exactly this round's requests.
+        let stats = driver.serve_stats();
+        let hist = driver.service().latency_histogram();
+        let round_latency = hist.delta(&last_hist).summary();
+        last_hist = hist;
+        let us = |nanos: u64| nanos as f64 / 1_000.0;
+        println!(
+            "  {round:>5} {mean_loss:>9.3} {:>8} {:>7} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            stats.requests,
+            stats.batches,
+            us(round_latency.p50),
+            us(round_latency.p90),
+            us(round_latency.p99),
+            us(round_latency.p999),
+        );
     }
     let stats = driver.serve_stats();
     println!(
