@@ -1,0 +1,114 @@
+//! Typed errors of the networked serving node.
+
+use sdc_persist::PersistError;
+use sdc_tensor::TensorError;
+
+/// Everything that can go wrong framing, decoding, or serving over the
+/// node's TCP front-end. Every rejection path is a distinct variant so
+/// the failure-injection suite can assert *why* a hostile input was
+/// refused — a corrupt frame must surface as
+/// [`NodeError::ChecksumMismatch`], an oversized length as
+/// [`NodeError::Oversized`] (before any allocation), never as a
+/// mis-parsed message.
+#[derive(Debug)]
+pub enum NodeError {
+    /// Socket failure while reading or writing.
+    Io {
+        /// The operation the failure belongs to.
+        context: &'static str,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The frame does not start with the frame magic — the peer is not
+    /// speaking this protocol (or the stream lost sync).
+    BadMagic,
+    /// The connection ended mid-frame.
+    Truncated {
+        /// What was being read when the stream ended.
+        context: &'static str,
+    },
+    /// A frame declared a payload larger than [`MAX_FRAME`]
+    /// (rejected **before** any allocation sizes itself from the
+    /// hostile length).
+    ///
+    /// [`MAX_FRAME`]: crate::wire::MAX_FRAME
+    Oversized {
+        /// The declared payload length.
+        declared: u64,
+    },
+    /// The frame payload's CRC-32 does not match: bytes were corrupted
+    /// in flight.
+    ChecksumMismatch,
+    /// A frame passed its CRC but its payload is not a well-formed
+    /// message (unknown tag, hostile field length, trailing bytes).
+    Malformed(PersistError),
+    /// The remote side answered with a typed error reply.
+    Remote {
+        /// The remote error's message.
+        message: String,
+    },
+    /// The connection (or a reply channel behind it) is gone.
+    Disconnected,
+    /// A scoring or model failure on the serving side.
+    Scoring(TensorError),
+    /// A snapshot-shipping failure (container rejection, delta/base
+    /// drift).
+    Persist(PersistError),
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io { context, source } => write!(f, "node io failure ({context}): {source}"),
+            Self::BadMagic => write!(f, "bad frame magic: peer is not speaking the SDC protocol"),
+            Self::Truncated { context } => write!(f, "connection ended while reading {context}"),
+            Self::Oversized { declared } => {
+                write!(f, "frame declares {declared} payload bytes, over the frame bound")
+            }
+            Self::ChecksumMismatch => write!(f, "frame checksum mismatch: payload is corrupt"),
+            Self::Malformed(e) => write!(f, "malformed message in a valid frame: {e}"),
+            Self::Remote { message } => write!(f, "remote error: {message}"),
+            Self::Disconnected => write!(f, "connection closed"),
+            Self::Scoring(e) => write!(f, "scoring failure: {e}"),
+            Self::Persist(e) => write!(f, "snapshot shipping failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            Self::Malformed(e) | Self::Persist(e) => Some(e),
+            Self::Scoring(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NodeError {
+    fn from(e: TensorError) -> Self {
+        Self::Scoring(e)
+    }
+}
+
+impl From<PersistError> for NodeError {
+    fn from(e: PersistError) -> Self {
+        Self::Persist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific_per_variant() {
+        assert!(format!("{}", NodeError::BadMagic).contains("magic"));
+        assert!(format!("{}", NodeError::ChecksumMismatch).contains("checksum"));
+        assert!(format!("{}", NodeError::Oversized { declared: 99 }).contains("99"));
+        assert!(format!("{}", NodeError::Truncated { context: "frame header" })
+            .contains("frame header"));
+        assert!(format!("{}", NodeError::Remote { message: "boom".into() }).contains("boom"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property suite for the replica sharding rule.
+//!
+//! [`replica_for`] is part of the wire-visible contract: a remote
+//! client, a restarted node, and a failed-over standby must all agree
+//! on which replica a stream lands on, from nothing but `(id, n)`.
+//! These properties pin that down: the assignment is a pure, total,
+//! in-range function for every replica count 1..=8; it is stable
+//! across "restarts" (any recomputation, in any order, from any
+//! process state); and re-sharding to a new replica count is itself
+//! pure — the new assignment never depends on the old one or on
+//! arrival order.
+
+use proptest::prelude::*;
+use sdc_serve::replica_for;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Pure, total, and in range for every count 1..=8.
+    #[test]
+    fn assignment_is_pure_total_and_in_range(id in any::<u64>(), n in 1usize..=8) {
+        let r = replica_for(id, n);
+        prop_assert!(r < n, "replica {} out of range for n={}", r, n);
+        prop_assert_eq!(r, replica_for(id, n), "same (id, n) must give the same replica");
+    }
+
+    /// A restart is just a recomputation: evaluating the rule again —
+    /// here in reverse order, as a stand-in for arbitrary process
+    /// history — assigns every stream identically.
+    #[test]
+    fn assignment_is_stable_across_restarts(
+        ids in collection::vec(any::<u64>(), 1..64),
+        n in 1usize..=8,
+    ) {
+        let before: Vec<usize> = ids.iter().map(|&id| replica_for(id, n)).collect();
+        let mut after: Vec<usize> = ids.iter().rev().map(|&id| replica_for(id, n)).collect();
+        after.reverse();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Re-sharding from n1 to n2 replicas is deterministic and
+    /// history-free: the new assignment is the same whether computed
+    /// by a node that previously ran n1 replicas (mapping over its old
+    /// assignment) or by a fresh node that never saw n1.
+    #[test]
+    fn resharding_is_deterministic_and_history_free(
+        ids in collection::vec(any::<u64>(), 1..64),
+        n1 in 1usize..=8,
+        n2 in 1usize..=8,
+    ) {
+        // "Migrating" node: walks its old placement and re-evaluates.
+        let migrated: Vec<usize> =
+            ids.iter().map(|&id| { let _old = replica_for(id, n1); replica_for(id, n2) }).collect();
+        // Fresh node: no n1 history at all.
+        let fresh: Vec<usize> = ids.iter().map(|&id| replica_for(id, n2)).collect();
+        prop_assert_eq!(&migrated, &fresh);
+        // And an unchanged count moves nothing.
+        if n1 == n2 {
+            let old: Vec<usize> = ids.iter().map(|&id| replica_for(id, n1)).collect();
+            prop_assert_eq!(old, fresh);
+        }
+    }
+
+    /// Ids that share a low-bit pattern still spread: the finalizer
+    /// prevents dense or strided id spaces from starving replicas
+    /// (every replica sees traffic from 256 consecutive ids).
+    #[test]
+    fn consecutive_ids_reach_every_replica(base in any::<u64>(), n in 2usize..=8) {
+        let mut seen = vec![false; n];
+        for k in 0..256u64 {
+            seen[replica_for(base.wrapping_add(k), n)] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s), "starved replica at n={}: {:?}", n, seen);
+    }
+}
+
+/// Two independently started replica sets with the same configuration
+/// route the same streams to the same replica indices — the stats
+/// tables agree request-for-request (the live-system face of restart
+/// stability).
+#[test]
+fn restarted_replica_sets_route_identically() {
+    use sdc_core::model::ModelConfig;
+    use sdc_core::ContrastiveModel;
+    use sdc_nn::models::EncoderConfig;
+    use sdc_serve::{ReplicaSet, ServeConfig};
+    use sdc_tensor::Tensor;
+
+    let model = || {
+        ContrastiveModel::new(&ModelConfig {
+            encoder: EncoderConfig::tiny(),
+            projection_hidden: 8,
+            projection_dim: 4,
+            seed: 9,
+        })
+    };
+    let samples = |seed: u64| {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        vec![sdc_data::Sample::new(Tensor::randn([3, 8, 8], 1.0, &mut rng), 0, seed)]
+    };
+    let drive = |set: &ReplicaSet| {
+        for stream in 0..16u64 {
+            set.client(stream).score(samples(stream)).unwrap();
+        }
+        set.stats_snapshot().iter().map(|s| s.requests).collect::<Vec<u64>>()
+    };
+    let config = ServeConfig { replicas: 3, ..ServeConfig::default() };
+    let first = ReplicaSet::start(model(), config.clone());
+    let second = ReplicaSet::start(model(), config);
+    assert_eq!(drive(&first), drive(&second), "restarted set routed streams differently");
+}

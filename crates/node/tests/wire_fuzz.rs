@@ -1,0 +1,278 @@
+//! Failure injection against the TCP front-end, from the raw socket up.
+//!
+//! Every attack in this suite drives hostile bytes at a live
+//! [`NodeServer`] and asserts the server's failure contract: the
+//! violation is answered with a **typed** [`Reply::Error`] (best
+//! effort) on seq 0, only the offending connection is torn down, and a
+//! healthy client opened *before* the attack keeps scoring
+//! bit-identically afterwards. The hostile-length attack additionally
+//! relies on the reader's before-allocation bound: a 4 GiB declared
+//! length must be refused from the 12-byte header alone.
+
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sdc_core::model::ModelConfig;
+use sdc_core::score::contrast_scores_shared;
+use sdc_core::ContrastiveModel;
+use sdc_data::Sample;
+use sdc_nn::models::EncoderConfig;
+use sdc_node::wire::{
+    decode_reply, encode_request, read_frame, write_frame, Reply, Request, FRAME_MAGIC, MAX_FRAME,
+};
+use sdc_node::{NodeClient, NodeServer};
+use sdc_serve::{ReplicaSet, ServeConfig};
+use sdc_tensor::Tensor;
+
+fn tiny_model(seed: u64) -> ContrastiveModel {
+    ContrastiveModel::new(&ModelConfig {
+        encoder: EncoderConfig::tiny(),
+        projection_hidden: 8,
+        projection_dim: 4,
+        seed,
+    })
+}
+
+fn samples(n: usize, seed: u64) -> Vec<Sample> {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    (0..n).map(|i| Sample::new(Tensor::randn([3, 8, 8], 1.0, &mut rng), 0, i as u64)).collect()
+}
+
+/// A live server, a reference copy of its model, and a healthy client
+/// opened before any attack runs.
+struct Fixture {
+    server: NodeServer,
+    reference: ContrastiveModel,
+    healthy: NodeClient,
+}
+
+impl Fixture {
+    fn start(seed: u64) -> Self {
+        let model = tiny_model(seed);
+        let reference = model.clone();
+        let replicas = Arc::new(ReplicaSet::start(
+            model,
+            ServeConfig { replicas: 2, ..ServeConfig::default() },
+        ));
+        let server = NodeServer::start(replicas).expect("start server");
+        let healthy = NodeClient::connect(server.addr()).expect("connect healthy client");
+        Self { server, reference, healthy }
+    }
+
+    /// A raw attacker socket with a read timeout so a server that
+    /// wrongly hangs fails the test instead of wedging it.
+    fn raw_socket(&self) -> TcpStream {
+        let socket = TcpStream::connect(self.server.addr()).expect("connect raw socket");
+        socket.set_read_timeout(Some(Duration::from_secs(10))).expect("set read timeout");
+        socket
+    }
+
+    /// The healthy client — opened before the attack — still scores
+    /// bit-identically to direct in-process scoring.
+    fn assert_still_serving(&self, seed: u64) {
+        let pool = samples(3, seed);
+        let remote = self.healthy.score(seed, pool.clone()).expect("healthy client score");
+        assert_eq!(
+            remote,
+            contrast_scores_shared(&self.reference, &pool).expect("direct score"),
+            "server stopped scoring correctly after an attack"
+        );
+    }
+}
+
+/// Sends `bytes` on a fresh connection, half-closes the write side, and
+/// returns the server's replies until the connection ends.
+fn attack(fixture: &Fixture, bytes: &[u8]) -> Vec<Reply> {
+    let mut socket = fixture.raw_socket();
+    socket.write_all(bytes).expect("write attack bytes");
+    socket.flush().expect("flush attack bytes");
+    socket.shutdown(Shutdown::Write).expect("half-close write side");
+    drain_replies(&mut socket)
+}
+
+fn drain_replies(socket: &mut TcpStream) -> Vec<Reply> {
+    let mut replies = Vec::new();
+    // Clean close, reset, or timeout-after-shutdown ends the drain:
+    // the connection is over either way.
+    while let Ok(Some(payload)) = read_frame(socket) {
+        replies.push(decode_reply(&payload).expect("server sent an undecodable reply"));
+    }
+    replies
+}
+
+fn assert_typed_frame_error(replies: &[Reply]) {
+    assert_eq!(replies.len(), 1, "expected exactly one typed error, got {replies:?}");
+    match &replies[0] {
+        Reply::Error { seq, .. } => {
+            assert_eq!(*seq, 0, "frame-level errors must carry seq 0: {replies:?}");
+        }
+        other => panic!("expected a typed Error reply, got {other:?}"),
+    }
+}
+
+fn score_request_frame(seq: u64, stream: u64, seed: u64) -> Vec<u8> {
+    let payload = encode_request(&Request::Score {
+        seq,
+        stream,
+        droppable: false,
+        samples: samples(2, seed),
+    });
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &payload).expect("frame request");
+    frame
+}
+
+#[test]
+fn garbage_magic_gets_typed_error_and_teardown() {
+    let fixture = Fixture::start(31);
+    fixture.assert_still_serving(100);
+    let replies = attack(&fixture, b"NOPE\x00\x00\x00\x00\x00\x00\x00\x00");
+    assert_typed_frame_error(&replies);
+    fixture.assert_still_serving(101);
+}
+
+#[test]
+fn every_flipped_frame_byte_gets_typed_error_and_teardown() {
+    let fixture = Fixture::start(37);
+    let frame = score_request_frame(1, 0, 500);
+    // Flip one byte at a time: every header byte (magic, length, CRC)
+    // plus a stride through the payload — each flip must land in a
+    // typed rejection, whichever check it trips (bad magic, oversized
+    // or truncated after a length flip, CRC mismatch for the rest).
+    // `read_frame`'s own unit suite covers *every* byte exhaustively;
+    // here each flip costs a live connection, so the payload is strided.
+    let positions = (0..12).chain((12..frame.len()).step_by(13));
+    for i in positions {
+        let mut corrupted = frame.clone();
+        corrupted[i] ^= 0x20;
+        let replies = attack(&fixture, &corrupted);
+        assert!(
+            matches!(replies.first(), Some(Reply::Error { seq: 0, .. })),
+            "flip at byte {i}: expected a typed seq-0 error first, got {replies:?}"
+        );
+    }
+    fixture.assert_still_serving(102);
+}
+
+#[test]
+fn truncated_frame_gets_typed_error_and_teardown() {
+    let fixture = Fixture::start(41);
+    let frame = score_request_frame(1, 0, 501);
+    // Cut mid-header and mid-payload; the half-close turns the missing
+    // bytes into an observable truncation server-side.
+    for cut in [4, 11, frame.len() - 1] {
+        let replies = attack(&fixture, &frame[..cut]);
+        assert_typed_frame_error(&replies);
+    }
+    fixture.assert_still_serving(103);
+}
+
+#[test]
+fn hostile_length_is_rejected_from_the_header_alone() {
+    let fixture = Fixture::start(43);
+    // A header declaring u32::MAX payload bytes, then nothing. The
+    // server must reject from the 12 header bytes without waiting for
+    // (or allocating) the declared 4 GiB — a prompt typed error is the
+    // observable proof.
+    let mut header = Vec::new();
+    header.extend_from_slice(FRAME_MAGIC);
+    header.extend_from_slice(&u32::MAX.to_le_bytes());
+    header.extend_from_slice(&0u32.to_le_bytes());
+    let mut socket = fixture.raw_socket();
+    socket.write_all(&header).expect("write hostile header");
+    socket.flush().expect("flush hostile header");
+    // No half-close: the rejection must not depend on EOF.
+    let replies = drain_replies(&mut socket);
+    assert_typed_frame_error(&replies);
+
+    // One past the cap is refused the same way.
+    let mut header = Vec::new();
+    header.extend_from_slice(FRAME_MAGIC);
+    header.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+    header.extend_from_slice(&0u32.to_le_bytes());
+    let mut socket = fixture.raw_socket();
+    socket.write_all(&header).expect("write hostile header");
+    socket.flush().expect("flush hostile header");
+    let replies = drain_replies(&mut socket);
+    assert_typed_frame_error(&replies);
+    fixture.assert_still_serving(104);
+}
+
+#[test]
+fn malformed_message_in_valid_frame_gets_typed_error_and_teardown() {
+    let fixture = Fixture::start(47);
+    // The frame itself is pristine — magic, length, CRC all valid — but
+    // the payload is an unknown request tag. The rejection happens at
+    // the message layer and still follows the same contract.
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &[99u8, 0, 0, 0]).expect("frame garbage payload");
+    let replies = attack(&fixture, &frame);
+    assert_typed_frame_error(&replies);
+    fixture.assert_still_serving(105);
+}
+
+#[test]
+fn interleaved_partial_writes_still_assemble_into_scored_replies() {
+    let fixture = Fixture::start(53);
+    // Two pipelined requests dribbled out three bytes at a time with
+    // pauses — maximally unaligned with frame boundaries. The reader
+    // must assemble both frames and answer both requests correctly.
+    let pool_a = samples(2, 600);
+    let pool_b = samples(3, 601);
+    let mut bytes = Vec::new();
+    for (seq, pool) in [(1u64, &pool_a), (2u64, &pool_b)] {
+        let payload = encode_request(&Request::Score {
+            seq,
+            stream: seq,
+            droppable: false,
+            samples: pool.clone(),
+        });
+        write_frame(&mut bytes, &payload).expect("frame request");
+    }
+    let mut socket = fixture.raw_socket();
+    for chunk in bytes.chunks(3) {
+        socket.write_all(chunk).expect("write partial chunk");
+        socket.flush().expect("flush partial chunk");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    socket.shutdown(Shutdown::Write).expect("half-close write side");
+    let mut replies = drain_replies(&mut socket);
+    replies.sort_by_key(Reply::seq);
+    assert_eq!(replies.len(), 2, "expected two scored replies, got {replies:?}");
+    for (reply, (seq, pool)) in replies.iter().zip([(1u64, &pool_a), (2u64, &pool_b)]) {
+        match reply {
+            Reply::Scored { seq: got, scores } => {
+                assert_eq!(*got, seq);
+                assert_eq!(
+                    scores,
+                    &contrast_scores_shared(&fixture.reference, pool).expect("direct score"),
+                    "partial-write request scored differently"
+                );
+            }
+            other => panic!("expected Scored for seq {seq}, got {other:?}"),
+        }
+    }
+    fixture.assert_still_serving(106);
+}
+
+#[test]
+fn attacks_do_not_disturb_a_concurrent_healthy_stream_of_requests() {
+    let fixture = Fixture::start(59);
+    // Interleave attacks with healthy traffic request-for-request: the
+    // kill switch for "teardown leaks into other connections".
+    let attacks: [&[u8]; 3] = [b"XXXX\x01\x00\x00\x00\x00\x00\x00\x00", b"SDCF", b"SDC"];
+    for (round, bytes) in attacks.iter().enumerate() {
+        let replies = attack(&fixture, bytes);
+        // Whatever each malformed prefix looked like, nothing but a
+        // typed seq-0 error may come back on the attacking connection.
+        for reply in &replies {
+            assert!(
+                matches!(reply, Reply::Error { seq: 0, .. }),
+                "attack round {round} leaked a non-error reply: {reply:?}"
+            );
+        }
+        fixture.assert_still_serving(200 + round as u64);
+    }
+}

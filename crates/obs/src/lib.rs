@@ -34,6 +34,19 @@
 //! let snapshot = sdc_obs::global().snapshot();
 //! assert!(snapshot.histograms["docs.example"].count >= 1);
 //! ```
+//!
+//! ## Metric namespaces
+//!
+//! Metric names are dot-separated, prefixed by the emitting subsystem.
+//! Families currently emitted across the workspace:
+//!
+//! * `serve.*` — the batched scoring service (request/batch/shed
+//!   counters, enqueue→reply latency).
+//! * `node.*` — the networked serving node (`sdc-node`):
+//!   `node.accept`, `node.frame.rx` / `node.frame.tx` /
+//!   `node.frame.rejected` for the TCP front-end, and
+//!   `node.ship.full` / `node.ship.delta` /
+//!   `node.ship.sections_reused` for hot-standby snapshot shipping.
 
 #![deny(missing_docs)]
 

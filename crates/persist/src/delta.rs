@@ -1,0 +1,325 @@
+//! Section-delta encoding between two snapshot containers.
+//!
+//! Snapshot shipping (the hot-standby path in `sdc-node`) sends the
+//! primary's `NodeSnapshot` to a standby after every round. Most
+//! sections barely change round to round — a shard that took no
+//! replacements, stream cursors for idle streams — so shipping the full
+//! container re-sends bytes the standby already holds. A **delta**
+//! encodes a target snapshot *relative to a base both sides share*:
+//! changed sections travel verbatim, unchanged sections travel as their
+//! CRC-32 alone.
+//!
+//! ## Layout
+//!
+//! ```text
+//! "SDCD"                                 magic (4 bytes)
+//! u32  delta format version              currently 1
+//! u32  section count
+//! per section (in the target's file order):
+//!   u64  name length | name bytes        UTF-8
+//!   u8   flag                            0 = unchanged, 1 = changed
+//!   flag 0: u32 payload CRC-32           must match the base's section
+//!   flag 1: u64 payload length | bytes   the new payload, verbatim
+//! u32  file CRC-32                       over every preceding byte
+//! ```
+//!
+//! All integers little-endian, matching the container format in
+//! [`format`](crate::format). The trailing file CRC is verified
+//! **first**, before any field is interpreted, and every length field
+//! is bounds-checked before allocation — the same hostile-input
+//! posture as [`Snapshot::from_bytes`].
+//!
+//! ## Byte-identity
+//!
+//! [`apply_delta`] reconstructs the **exact container bytes** the
+//! primary serialized, not merely an equivalent snapshot: the delta
+//! records sections in the target's file order, unchanged payloads are
+//! spliced verbatim from the base, and container serialization is
+//! deterministic. `encode_delta(base, target)` then `apply_delta(base,
+//! delta)` round-trips to bytes equal to `target`'s serialization —
+//! which is what lets a standby resume bit-identically
+//! (`tests/failover_resume.rs`).
+
+use crate::crc::crc32;
+use crate::error::PersistError;
+use crate::format::{Snapshot, SnapshotWriter};
+use crate::state::{StateReader, StateWriter};
+
+/// First bytes of every snapshot delta.
+pub const DELTA_MAGIC: &[u8; 4] = b"SDCD";
+
+/// The delta format version this build writes and reads.
+pub const DELTA_VERSION: u32 = 1;
+
+/// What a delta encoding saved: how many sections the target has and
+/// how many traveled as a bare CRC instead of a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Total sections in the target snapshot.
+    pub sections: usize,
+    /// Sections encoded as unchanged (CRC only, no payload).
+    pub reused: usize,
+}
+
+/// Encodes `target` as a delta against `base`.
+///
+/// A section travels as a bare CRC when the base holds a section of the
+/// same name with **byte-identical** payload (the CRC comparison is a
+/// fast path; actual bytes are compared, so reuse is exact, never
+/// probabilistic). Everything else — new sections and changed payloads
+/// — travels verbatim. Sections present only in the base are simply
+/// absent from the delta: applying it yields exactly the target's
+/// section set.
+pub fn encode_delta(base: &Snapshot, target: &Snapshot) -> (Vec<u8>, DeltaStats) {
+    let mut body = StateWriter::new();
+    let order = target.section_order();
+    body.put_u32(order.len() as u32);
+    let mut reused = 0usize;
+    for name in order {
+        let payload = target.raw_section(name).expect("section order lists existing sections");
+        body.put_str(name);
+        if base.raw_section(name) == Some(payload) {
+            body.put_u8(0);
+            body.put_u32(crc32(payload));
+            reused += 1;
+        } else {
+            body.put_u8(1);
+            body.put_bytes(payload);
+        }
+    }
+    let mut out = Vec::new();
+    out.extend_from_slice(DELTA_MAGIC);
+    out.extend_from_slice(&DELTA_VERSION.to_le_bytes());
+    out.extend_from_slice(&body.into_bytes());
+    let file_crc = crc32(&out);
+    out.extend_from_slice(&file_crc.to_le_bytes());
+    (out, DeltaStats { sections: order.len(), reused })
+}
+
+/// Applies a delta to `base`, returning the reconstructed **container
+/// bytes** of the target snapshot (feed them to
+/// [`Snapshot::from_bytes`] or [`Snapshot::write_atomic`]).
+///
+/// # Errors
+///
+/// * [`PersistError::ChecksumMismatch`] (`"<delta>"`) — any flipped
+///   byte in the delta itself, caught by the trailing file CRC before
+///   interpretation.
+/// * [`PersistError::BadMagic`] / [`PersistError::UnsupportedVersion`]
+///   — not a delta, or one from a newer build.
+/// * [`PersistError::Truncated`] / [`PersistError::Corrupt`] — input
+///   ends early, a length field exceeds the remaining bytes (rejected
+///   before allocation), an unknown section flag, or trailing garbage.
+/// * [`PersistError::MissingSection`] /
+///   [`PersistError::StateMismatch`] — the delta references a base
+///   section this `base` does not hold, or holds with different bytes:
+///   the two sides' bases have drifted and the delta cannot apply.
+pub fn apply_delta(base: &Snapshot, delta: &[u8]) -> Result<Vec<u8>, PersistError> {
+    // Smallest valid delta: magic + version + count + file CRC.
+    if delta.len() < DELTA_MAGIC.len() + 4 + 4 + 4 {
+        return Err(PersistError::Truncated { context: "delta header" });
+    }
+    let (body, trailer) = delta.split_at(delta.len() - 4);
+    let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    if crc32(body) != stored {
+        return Err(PersistError::ChecksumMismatch { section: "<delta>".into() });
+    }
+    if &body[..4] != DELTA_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = u32::from_le_bytes([body[4], body[5], body[6], body[7]]);
+    if version != DELTA_VERSION {
+        return Err(PersistError::UnsupportedVersion { found: version, supported: DELTA_VERSION });
+    }
+    let mut r = StateReader::new(&body[8..]);
+    let count = r.get_u32()?;
+    let mut writer = SnapshotWriter::new();
+    for _ in 0..count {
+        let name = r.get_str()?;
+        match r.get_u8()? {
+            0 => {
+                let crc = r.get_u32()?;
+                let payload = base
+                    .raw_section(&name)
+                    .ok_or_else(|| PersistError::MissingSection(name.clone()))?;
+                if crc32(payload) != crc {
+                    return Err(PersistError::StateMismatch {
+                        message: format!(
+                            "delta reuses section {name:?} but the base's bytes differ \
+                             (base drifted from the delta's base)"
+                        ),
+                    });
+                }
+                writer.add_raw_section(name, payload.to_vec());
+            }
+            1 => {
+                let payload = r.get_bytes()?;
+                writer.add_raw_section(name, payload);
+            }
+            flag => {
+                return Err(PersistError::Corrupt {
+                    context: "delta section flag",
+                    message: format!("section {name:?} has unknown flag {flag}"),
+                });
+            }
+        }
+    }
+    r.finish()?;
+    Ok(writer.into_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn container(sections: &[(&str, &[u64])]) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        for (name, values) in sections {
+            let mut s = StateWriter::new();
+            for &v in *values {
+                s.put_u64(v);
+            }
+            w.add_section(*name, s);
+        }
+        w.into_bytes()
+    }
+
+    #[test]
+    fn identical_snapshots_reuse_every_section_and_apply_byte_identically() {
+        let bytes = container(&[("alpha", &[1, 2]), ("beta", &[3])]);
+        let base = Snapshot::from_bytes(&bytes).unwrap();
+        let target = Snapshot::from_bytes(&bytes).unwrap();
+        let (delta, stats) = encode_delta(&base, &target);
+        assert_eq!(stats, DeltaStats { sections: 2, reused: 2 });
+        assert!(delta.len() < bytes.len(), "all-reused delta should be smaller than the container");
+        assert_eq!(apply_delta(&base, &delta).unwrap(), bytes);
+    }
+
+    #[test]
+    fn changed_and_new_sections_travel_and_removed_ones_drop() {
+        let base_bytes = container(&[("alpha", &[1]), ("beta", &[2]), ("gone", &[9])]);
+        let target_bytes = container(&[("alpha", &[1]), ("beta", &[2, 2]), ("fresh", &[5])]);
+        let base = Snapshot::from_bytes(&base_bytes).unwrap();
+        let target = Snapshot::from_bytes(&target_bytes).unwrap();
+        let (delta, stats) = encode_delta(&base, &target);
+        assert_eq!(stats, DeltaStats { sections: 3, reused: 1 });
+        let applied = apply_delta(&base, &delta).unwrap();
+        assert_eq!(applied, target_bytes);
+        let reparsed = Snapshot::from_bytes(&applied).unwrap();
+        assert_eq!(reparsed.section_order(), ["alpha", "beta", "fresh"]);
+    }
+
+    #[test]
+    fn preserves_file_order_not_sorted_order() {
+        // Section order in the container is writer order, not
+        // alphabetical — the delta must preserve it for byte-identity.
+        let bytes = container(&[("zulu", &[1]), ("alpha", &[2])]);
+        let snap = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(snap.section_order(), ["zulu", "alpha"]);
+        let (delta, _) = encode_delta(&snap, &snap);
+        assert_eq!(apply_delta(&snap, &delta).unwrap(), bytes);
+    }
+
+    #[test]
+    fn every_flipped_byte_is_rejected_with_a_checksum_error() {
+        let bytes = container(&[("alpha", &[1, 2, 3])]);
+        let base = Snapshot::from_bytes(&bytes).unwrap();
+        let (delta, _) = encode_delta(&base, &base);
+        let mut copy = delta.clone();
+        for i in 0..copy.len() {
+            copy[i] ^= 0x20;
+            let err = apply_delta(&base, &copy).unwrap_err();
+            assert!(
+                matches!(err, PersistError::ChecksumMismatch { .. }),
+                "flip at byte {i} gave {err} instead of a checksum error"
+            );
+            copy[i] ^= 0x20;
+        }
+        apply_delta(&base, &copy).unwrap();
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = container(&[("alpha", &[1]), ("beta", &[2])]);
+        let base = Snapshot::from_bytes(&bytes).unwrap();
+        let (delta, _) = encode_delta(&base, &base);
+        for cut in 0..delta.len() {
+            assert!(apply_delta(&base, &delta[..cut]).is_err(), "cut at {cut} applied");
+        }
+    }
+
+    #[test]
+    fn hostile_payload_length_is_rejected_before_allocation() {
+        // Hand-build a self-consistent delta whose one changed section
+        // declares an absurd payload length.
+        let base = Snapshot::from_bytes(&container(&[("alpha", &[1])])).unwrap();
+        let mut body = StateWriter::new();
+        body.put_u32(1);
+        body.put_str("alpha");
+        body.put_u8(1);
+        body.put_u64(u64::MAX); // payload length with no payload behind it
+        let mut delta = Vec::new();
+        delta.extend_from_slice(DELTA_MAGIC);
+        delta.extend_from_slice(&DELTA_VERSION.to_le_bytes());
+        delta.extend_from_slice(&body.into_bytes());
+        let crc = crc32(&delta);
+        delta.extend_from_slice(&crc.to_le_bytes());
+        let err = apply_delta(&base, &delta).unwrap_err();
+        assert!(
+            matches!(err, PersistError::Corrupt { .. } | PersistError::Truncated { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_flag_and_bad_magic_and_version_are_typed() {
+        let base = Snapshot::from_bytes(&container(&[("alpha", &[1])])).unwrap();
+
+        let mut body = StateWriter::new();
+        body.put_u32(1);
+        body.put_str("alpha");
+        body.put_u8(7); // neither 0 nor 1
+        let mut delta = Vec::new();
+        delta.extend_from_slice(DELTA_MAGIC);
+        delta.extend_from_slice(&DELTA_VERSION.to_le_bytes());
+        delta.extend_from_slice(&body.into_bytes());
+        let crc = crc32(&delta);
+        delta.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(apply_delta(&base, &delta).unwrap_err(), PersistError::Corrupt { .. }));
+
+        let mut delta = Vec::new();
+        delta.extend_from_slice(b"NOPE");
+        delta.extend_from_slice(&DELTA_VERSION.to_le_bytes());
+        delta.extend_from_slice(&0u32.to_le_bytes());
+        let crc = crc32(&delta);
+        delta.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(apply_delta(&base, &delta).unwrap_err(), PersistError::BadMagic));
+
+        let mut delta = Vec::new();
+        delta.extend_from_slice(DELTA_MAGIC);
+        delta.extend_from_slice(&99u32.to_le_bytes());
+        delta.extend_from_slice(&0u32.to_le_bytes());
+        let crc = crc32(&delta);
+        delta.extend_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            apply_delta(&base, &delta).unwrap_err(),
+            PersistError::UnsupportedVersion { found: 99, .. }
+        ));
+    }
+
+    #[test]
+    fn drifted_base_is_rejected_not_mis_applied() {
+        let v1 = container(&[("alpha", &[1])]);
+        let v2 = container(&[("alpha", &[2])]);
+        let base = Snapshot::from_bytes(&v1).unwrap();
+        let drifted = Snapshot::from_bytes(&v2).unwrap();
+        let (delta, _) = encode_delta(&base, &base);
+        // Same section name, different bytes on the applying side.
+        let err = apply_delta(&drifted, &delta).unwrap_err();
+        assert!(matches!(err, PersistError::StateMismatch { .. }), "{err}");
+        // Missing section on the applying side.
+        let empty = Snapshot::from_bytes(&container(&[])).unwrap();
+        let err = apply_delta(&empty, &delta).unwrap_err();
+        assert!(matches!(err, PersistError::MissingSection(_)), "{err}");
+    }
+}

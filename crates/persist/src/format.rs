@@ -54,6 +54,13 @@ impl SnapshotWriter {
         self.sections.push((name.into(), payload.into_bytes()));
     }
 
+    /// Appends a section whose payload is already serialized. Delta
+    /// application uses this to splice verbatim payloads back into a
+    /// container.
+    pub(crate) fn add_raw_section(&mut self, name: impl Into<String>, payload: Vec<u8>) {
+        self.sections.push((name.into(), payload));
+    }
+
     /// Serializes the container.
     pub fn into_bytes(self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -77,6 +84,11 @@ impl SnapshotWriter {
 #[derive(Debug)]
 pub struct Snapshot {
     sections: BTreeMap<String, Vec<u8>>,
+    /// Section names in file order — the order [`SnapshotWriter`]
+    /// received them. Delta encoding records it so a reconstructed
+    /// container is byte-identical to the original, not merely
+    /// section-equivalent.
+    order: Vec<String>,
 }
 
 impl Snapshot {
@@ -112,6 +124,7 @@ impl Snapshot {
         let count = u32::from_le_bytes([body[8], body[9], body[10], body[11]]);
         let mut rest = &body[12..];
         let mut sections = BTreeMap::new();
+        let mut order = Vec::with_capacity(count as usize);
         for _ in 0..count {
             // The header fields parse through a StateReader (it carries
             // the bounds checks); the payload is sliced raw so its CRC
@@ -141,6 +154,7 @@ impl Snapshot {
                     message: format!("duplicate section {name:?}"),
                 });
             }
+            order.push(name);
             rest = &rest[payload_end..];
         }
         if !rest.is_empty() {
@@ -149,12 +163,32 @@ impl Snapshot {
                 message: format!("{} trailing bytes after the last section", rest.len()),
             });
         }
-        Ok(Self { sections })
+        Ok(Self { sections, order })
     }
 
     /// Names of every section, sorted.
     pub fn section_names(&self) -> Vec<&str> {
         self.sections.keys().map(String::as_str).collect()
+    }
+
+    /// Section names in **file order** — the order the writer emitted
+    /// them. Delta encoding walks this so a reconstructed container is
+    /// byte-identical to the original.
+    pub fn section_order(&self) -> &[String] {
+        &self.order
+    }
+
+    /// CRC-32 of the named section's payload, recomputed from the
+    /// stored bytes (`None` when absent). Snapshot shipping compares
+    /// these across two snapshots to skip unchanged sections.
+    pub fn section_crc(&self, name: &str) -> Option<u32> {
+        self.sections.get(name).map(|b| crc32(b))
+    }
+
+    /// The raw payload bytes of a section (delta encoding needs them
+    /// verbatim, not through a [`StateReader`]).
+    pub(crate) fn raw_section(&self, name: &str) -> Option<&[u8]> {
+        self.sections.get(name).map(Vec::as_slice)
     }
 
     /// Whether a section exists.

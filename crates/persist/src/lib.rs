@@ -30,6 +30,11 @@
 //! * **Hostile-input safe** — every length field is bounds-checked
 //!   against the remaining input before any allocation sizes itself
 //!   from it.
+//! * **Delta-shippable** — [`encode_delta`] / [`apply_delta`] encode a
+//!   snapshot relative to a base both sides hold, sending unchanged
+//!   sections as a CRC alone; application reconstructs the target's
+//!   container bytes exactly (the hot-standby shipping path in
+//!   `sdc-node`).
 //!
 //! ```
 //! use sdc_persist::{Snapshot, SnapshotWriter, StateWriter};
@@ -49,11 +54,13 @@
 #![deny(missing_docs)]
 
 mod crc;
+mod delta;
 mod error;
 mod format;
 mod state;
 
 pub use crc::crc32;
+pub use delta::{apply_delta, encode_delta, DeltaStats, DELTA_MAGIC, DELTA_VERSION};
 pub use error::PersistError;
 pub use format::{Snapshot, SnapshotWriter, FORMAT_VERSION, MAGIC};
 pub use state::{StateReader, StateWriter};

@@ -149,6 +149,15 @@ impl<T> Receiver<T> {
             mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
         })
     }
+
+    /// A blocking iterator over incoming values: each `next` waits like
+    /// [`Receiver::recv`] and the iterator ends when every sender is
+    /// gone and the queue is drained. The natural shape for a pump
+    /// thread that processes a channel to completion (e.g. the serving
+    /// node's per-connection reply writer).
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.recv().ok())
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +225,17 @@ mod tests {
         assert_eq!(tx.try_send(3), Ok(()));
         drop(rx);
         assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+    }
+
+    #[test]
+    fn iter_drains_in_order_and_ends_on_disconnect() {
+        let (tx, rx) = bounded(4);
+        std::thread::spawn(move || {
+            for i in 0..6 {
+                tx.send(i).unwrap();
+            }
+        });
+        assert_eq!(rx.iter().collect::<Vec<i32>>(), (0..6).collect::<Vec<_>>());
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //! * [`runtime`] — the parallel execution subsystem (worker pool,
 //!   deterministic data-parallel kernels, prefetch channels).
 //! * [`serve`] — the batched scoring service layer (request
-//!   coalescing, per-stream buffer shards, the multi-stream trainer).
+//!   coalescing, scoring replicas, per-stream buffer shards, the
+//!   multi-stream trainer).
+//! * [`node`] — the networked serving node: the CRC-framed TCP
+//!   front-end over the replica set, remote clients, and hot-standby
+//!   snapshot shipping.
 //! * [`persist`] — crash-safe checkpoint/restore: the checksummed
 //!   snapshot container and the `Persist` state-capture trait.
 //! * [`obs`] — the observability layer: the process-global metrics
@@ -46,6 +50,7 @@ pub use sdc_core as core;
 pub use sdc_data as data;
 pub use sdc_eval as eval;
 pub use sdc_nn as nn;
+pub use sdc_node as node;
 pub use sdc_obs as obs;
 pub use sdc_persist as persist;
 pub use sdc_runtime as runtime;

@@ -2,7 +2,8 @@
 //!
 //! [`MultiStreamTrainer`] glues the three serving pieces together: one
 //! shared [`StreamTrainer`] (model + optimizer + augmentation state),
-//! one [`ScoringService`] scoring every stream's replacement batches,
+//! a [`ReplicaSet`] of scoring replicas (streams deterministically
+//! sharded across them) scoring every stream's replacement batches,
 //! and one [`ShardedBuffer`] holding per-stream buffers. Each *round*
 //! works in three phases:
 //!
@@ -29,6 +30,7 @@ use sdc_data::{Sample, StreamId};
 use sdc_persist::PersistError;
 use sdc_tensor::Result;
 
+use crate::replica::ReplicaSet;
 use crate::service::{ScoringClient, ScoringService, ServeConfig, ServeStats};
 use crate::shard::ShardedBuffer;
 use crate::snapshot::NodeSnapshot;
@@ -53,27 +55,29 @@ pub struct RoundReport {
 #[derive(Debug)]
 pub struct MultiStreamTrainer {
     trainer: StreamTrainer,
-    service: ScoringService,
+    replicas: ReplicaSet,
     clients: BTreeMap<StreamId, ScoringClient>,
     shards: ShardedBuffer,
 }
 
 impl MultiStreamTrainer {
-    /// Creates the driver: a fresh trainer plus a scoring service
-    /// seeded with the trainer's initial model snapshot. Every stream
-    /// shard gets `config.buffer_size` slots and a clone of `policy`.
+    /// Creates the driver: a fresh trainer plus `serve.replicas`
+    /// scoring replicas seeded with the trainer's initial model
+    /// snapshot (streams shard across them by
+    /// [`replica_for`](crate::replica_for)). Every stream shard gets
+    /// `config.buffer_size` slots and a clone of `policy`.
     pub fn new(config: TrainerConfig, policy: ContrastScoringPolicy, serve: ServeConfig) -> Self {
         let shards = ShardedBuffer::new(config.buffer_size, policy.clone());
         let trainer = StreamTrainer::new(config, Box::new(policy));
-        let service = ScoringService::start(trainer.model().clone(), serve);
-        Self { trainer, service, clients: BTreeMap::new(), shards }
+        let replicas = ReplicaSet::start(trainer.model().clone(), serve);
+        Self { trainer, replicas, clients: BTreeMap::new(), shards }
     }
 
-    /// Registers `stream` with the scoring service (idempotent; rounds
+    /// Registers `stream` with its scoring replica (idempotent; rounds
     /// do this automatically for participating streams).
     pub fn register(&mut self, stream: StreamId) {
-        let service = &self.service;
-        self.clients.entry(stream).or_insert_with(|| service.client(stream));
+        let replicas = &self.replicas;
+        self.clients.entry(stream).or_insert_with(|| replicas.client(stream));
     }
 
     /// Removes a finished stream: deregisters its scoring client (so
@@ -98,17 +102,27 @@ impl MultiStreamTrainer {
         &self.shards
     }
 
-    /// A **live** snapshot of the scoring service's coalescing
-    /// counters and latency summaries (non-quiescing; see
-    /// [`ScoringService::stats_snapshot`]).
+    /// A **live** snapshot of the first replica's coalescing counters
+    /// and latency summaries (non-quiescing; see
+    /// [`ScoringService::stats_snapshot`]). With one replica — the
+    /// default — this is the whole node; with more, use
+    /// [`MultiStreamTrainer::replica_set`] for the per-replica
+    /// breakdown.
     pub fn serve_stats(&self) -> ServeStats {
-        self.service.stats_snapshot()
+        self.replicas.replica(0).stats_snapshot()
     }
 
-    /// The underlying scoring service — e.g. for bracketing a round
-    /// with [`ScoringService::latency_histogram`] snapshots.
+    /// The first scoring replica — e.g. for bracketing a round with
+    /// [`ScoringService::latency_histogram`] snapshots on a
+    /// single-replica node.
     pub fn service(&self) -> &ScoringService {
-        &self.service
+        self.replicas.replica(0)
+    }
+
+    /// The full replica set (per-replica stats, sharded client
+    /// creation, broadcast quiesce).
+    pub fn replica_set(&self) -> &ReplicaSet {
+        &self.replicas
     }
 
     /// Captures the node's full serving state as a [`NodeSnapshot`]:
@@ -125,7 +139,7 @@ impl MultiStreamTrainer {
     ///
     /// Reports the scoring service having terminated.
     pub fn snapshot(&self) -> std::result::Result<NodeSnapshot, PersistError> {
-        self.service.quiesce()?;
+        self.replicas.quiesce()?;
         let clients: Vec<StreamId> = self.clients.keys().copied().collect();
         Ok(NodeSnapshot::capture(&self.trainer, &self.shards, &clients))
     }
@@ -152,10 +166,10 @@ impl MultiStreamTrainer {
         let mut shards = ShardedBuffer::new(config.buffer_size, policy.clone());
         let mut trainer = StreamTrainer::new(config, Box::new(policy));
         let client_ids = snapshot.restore_into(&mut trainer, &mut shards)?;
-        let service = ScoringService::start(trainer.model().clone(), serve);
+        let replicas = ReplicaSet::start(trainer.model().clone(), serve);
         let clients =
-            client_ids.into_iter().map(|id| (id, service.client(id))).collect::<BTreeMap<_, _>>();
-        Ok(Self { trainer, service, clients, shards })
+            client_ids.into_iter().map(|id| (id, replicas.client(id))).collect::<BTreeMap<_, _>>();
+        Ok(Self { trainer, replicas, clients, shards })
     }
 
     /// Runs one serving round over `segments` (one entry per
@@ -216,8 +230,9 @@ impl MultiStreamTrainer {
             reports.push(RoundReport { stream: id, outcome, loss });
         }
 
-        // Phase 3: publish the post-update model for the next round.
-        self.service.swap_model(self.trainer.model().clone());
+        // Phase 3: publish the post-update model to every replica for
+        // the next round's scoring.
+        self.replicas.swap_model(self.trainer.model().clone());
         Ok(reports)
     }
 }
@@ -308,6 +323,58 @@ mod tests {
         let reports = driver.run_round(vec![(0, live.next_segment(4).unwrap())]).unwrap();
         assert_eq!(reports.len(), 1);
         assert_eq!(driver.serve_stats().deadline_flushes, 0);
+    }
+
+    /// Training rounds are replica-count invariant: scores are
+    /// bit-identical no matter which replica a stream lands on, and
+    /// updates run serially in stream-id order either way, so the whole
+    /// fingerprint (losses + weights + buffer entries) must match the
+    /// single-replica reference exactly.
+    #[test]
+    fn rounds_are_bit_identical_at_every_replica_count() {
+        let run = |replicas: usize| {
+            let mut driver = MultiStreamTrainer::new(
+                tiny_config(),
+                ContrastScoringPolicy::new(),
+                ServeConfig {
+                    replicas,
+                    flush_deadline: std::time::Duration::from_secs(5),
+                    ..ServeConfig::default()
+                },
+            );
+            let mut streams: Vec<TemporalStream> = (0..4).map(|i| stream(40 + i)).collect();
+            let mut losses = Vec::new();
+            for _ in 0..2 {
+                let segments: Vec<(StreamId, Vec<Sample>)> = streams
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, s)| (i as StreamId, s.next_segment(4).unwrap()))
+                    .collect();
+                for r in driver.run_round(segments).unwrap() {
+                    losses.push(r.loss.to_bits());
+                }
+            }
+            let weights: Vec<u32> = driver
+                .trainer()
+                .model()
+                .store
+                .params()
+                .iter()
+                .flat_map(|p| p.value.data().iter().map(|v| v.to_bits()))
+                .collect();
+            let entries: Vec<(StreamId, u64, u32)> = driver
+                .shards()
+                .iter()
+                .flat_map(|(id, s)| {
+                    s.buffer().entries().iter().map(move |e| (id, e.sample.id, e.score.to_bits()))
+                })
+                .collect();
+            (losses, weights, entries)
+        };
+        let reference = run(1);
+        for replicas in [2usize, 3] {
+            assert_eq!(run(replicas), reference, "diverged at {replicas} replicas");
+        }
     }
 
     #[test]

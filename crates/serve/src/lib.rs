@@ -17,6 +17,10 @@
 //!   batch through one shared model via
 //!   [`contrast_scores_shared`](sdc_core::contrast_scores_shared), and
 //!   routes score slices back to per-request reply channels.
+//! * [`ReplicaSet`] — N scoring replicas (independent batcher threads,
+//!   each holding its own model snapshot) behind the pure
+//!   [`replica_for`] shard rule, so scoring throughput scales past one
+//!   core's forward pass ([`ServeConfig::replicas`]).
 //! * [`ShardedBuffer`] — per-stream replay-buffer + policy shards, so
 //!   independent streams never contend on one buffer.
 //! * [`MultiStreamTrainer`] — the round driver training one shared
@@ -57,12 +61,14 @@
 
 mod driver;
 pub mod loadgen;
+mod replica;
 mod service;
 mod shard;
 mod snapshot;
 
 pub use driver::{MultiStreamTrainer, RoundReport};
 pub use loadgen::{run_open_loop, LoadReport, LoadgenConfig, RoundLatency};
+pub use replica::{replica_for, ReplicaSet};
 pub use service::{
     ScoreOutcome, ScoreTicket, ScoringClient, ScoringService, ServeComposition, ServeConfig,
     ServeStats, ShedCause, SubmitOutcome,

@@ -71,6 +71,14 @@ pub struct ServeConfig {
     /// ([`ScoringClient::submit`] / [`ScoringClient::score`]) are
     /// exempt: they block on the bounded request queue instead.
     pub max_pending: usize,
+    /// How many scoring replicas a [`ReplicaSet`](crate::ReplicaSet)
+    /// starts from this configuration — independent batcher threads,
+    /// each with its own model snapshot, with streams deterministically
+    /// sharded across them by
+    /// [`replica_for`](crate::replica_for)`(stream_id, replicas)`. A
+    /// plain [`ScoringService`] ignores this field (it *is* one
+    /// replica).
+    pub replicas: usize,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +89,7 @@ impl Default for ServeConfig {
             queue_depth: 64,
             threads: None,
             max_pending: 256,
+            replicas: 1,
         }
     }
 }
@@ -865,9 +874,8 @@ mod tests {
             ServeConfig {
                 max_batch: 1000,
                 flush_deadline: Duration::from_secs(600),
-                queue_depth: 64,
-                threads: None,
                 max_pending: 2,
+                ..ServeConfig::default()
             },
         );
         let silent = service.client(0);
