@@ -102,10 +102,8 @@ fn main() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
         out.push_str(&format!("    {{\"id\": \"{id}\", \"ns_per_iter\": {ns}.0}}{comma}\n"));
     }
-    out.push_str(&format!(
-        "  ],\n  \"unit\": \"latency percentile in nanoseconds\",\n  \"host_parallelism\": {}\n}}\n",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    ));
+    out.push_str("  ],\n  \"unit\": \"latency percentile in nanoseconds\",\n");
+    out.push_str(&sdc_bench::json_env_footer());
     match std::fs::File::create(path) {
         Ok(mut f) => {
             let _ = f.write_all(out.as_bytes());

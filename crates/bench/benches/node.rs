@@ -127,10 +127,8 @@ fn write_json(c: &Criterion, container_bytes: usize) {
             r.id, r.ns_per_iter,
         ));
     }
-    out.push_str(&format!(
-        "  ],\n  \"buffer_size\": {BUFFER},\n  \"host_parallelism\": {}\n}}\n",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    ));
+    out.push_str(&format!("  ],\n  \"buffer_size\": {BUFFER},\n"));
+    out.push_str(&sdc_bench::json_env_footer());
     match std::fs::File::create(path) {
         Ok(mut f) => {
             let _ = f.write_all(out.as_bytes());

@@ -1,0 +1,111 @@
+//! Benchmarks for the runtime-dispatched SIMD kernel layer
+//! (`sdc_tensor::simd`): the three-pass vectorized log-softmax, the
+//! polynomial `exp`, and the lane-strided row reduction, each measured
+//! on the dispatched path against the retained scalar reference at a
+//! single thread — isolating the data-level speedup from the
+//! thread-level speedup `BENCH_runtime.json` tracks.
+//!
+//! Results go to `BENCH_simd.json` at the workspace root with derived
+//! element throughputs and the dispatched instruction set; CI runs this
+//! bench in smoke mode and gates the `simd` family with `bench_gate`.
+
+use criterion::Criterion;
+use sdc_runtime::Runtime;
+use sdc_tensor::simd::{self, scalar_ref, ReduceKernel, UnaryKernel};
+use sdc_tensor::Tensor;
+use std::hint::black_box;
+use std::io::Write;
+
+/// Softmax / row-reduce shape: the encoder's 256-wide contrastive
+/// logits batch, the hottest non-GEMM shape in a training step.
+const MAT: [usize; 2] = [256, 256];
+
+/// Elementwise length: a 64 Ki-element activation buffer.
+const VEC_LEN: usize = 65_536;
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed)
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let x = Tensor::randn(MAT, 1.0, &mut rng(3));
+    let rt = Runtime::new(1);
+    let mut group = c.benchmark_group("simd_softmax_256");
+    group.bench_function("dispatch", |b| {
+        b.iter(|| rt.install(|| simd::log_softmax(black_box(&x)).unwrap()))
+    });
+    group.bench_function("scalar", |b| {
+        b.iter(|| rt.install(|| scalar_ref::log_softmax(black_box(&x)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_exp(c: &mut Criterion) {
+    let x = Tensor::randn([VEC_LEN], 1.0, &mut rng(5));
+    let rt = Runtime::new(1);
+    let mut group = c.benchmark_group("simd_exp_64k");
+    group.bench_function("dispatch", |b| {
+        b.iter(|| rt.install(|| simd::unary(UnaryKernel::Exp, black_box(&x))))
+    });
+    group.bench_function("scalar", |b| {
+        b.iter(|| rt.install(|| scalar_ref::unary(UnaryKernel::Exp, black_box(&x))))
+    });
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let x = Tensor::randn(MAT, 1.0, &mut rng(7));
+    let rt = Runtime::new(1);
+    let mut group = c.benchmark_group("simd_sum_rows_256");
+    group.bench_function("dispatch", |b| {
+        b.iter(|| rt.install(|| simd::reduce(ReduceKernel::SumRows, black_box(&x)).unwrap()))
+    });
+    group.bench_function("scalar", |b| {
+        b.iter(|| rt.install(|| scalar_ref::reduce(ReduceKernel::SumRows, black_box(&x)).unwrap()))
+    });
+    group.finish();
+}
+
+/// Elements processed per iteration of benchmark `id`, for the derived
+/// throughput column.
+fn elems_for(id: &str) -> usize {
+    if id.starts_with("simd_exp_64k") {
+        VEC_LEN
+    } else {
+        MAT[0] * MAT[1]
+    }
+}
+
+/// Writes `BENCH_simd.json` at the workspace root: per-benchmark
+/// nanoseconds and element throughput, plus environment metadata
+/// (including the dispatched instruction set).
+fn write_json(c: &Criterion) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simd.json");
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    let results = c.results();
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let elems_per_sec = elems_for(&r.id) as f64 * 1e9 / r.ns_per_iter;
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"elems_per_sec\": {:.0}}}{comma}\n",
+            r.id, r.ns_per_iter, elems_per_sec
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&sdc_bench::json_env_footer());
+    match std::fs::File::create(path) {
+        Ok(mut f) => {
+            let _ = f.write_all(out.as_bytes());
+            println!("wrote {path}");
+        }
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut criterion = sdc_bench::bench_criterion();
+    bench_softmax(&mut criterion);
+    bench_exp(&mut criterion);
+    bench_reduce(&mut criterion);
+    write_json(&criterion);
+}

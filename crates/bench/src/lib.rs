@@ -48,6 +48,19 @@ pub fn bench_criterion() -> criterion::Criterion {
     }
 }
 
+/// The environment metadata footer every `BENCH_*.json` ends with: the
+/// host's logical CPU count and the SIMD instruction set the tensor
+/// kernels dispatch to in this process (see
+/// [`sdc_tensor::simd::active_isa`]). Includes the closing brace;
+/// callers append any bench-specific fields *before* it.
+pub fn json_env_footer() -> String {
+    format!(
+        "  \"host_parallelism\": {},\n  \"active_isa\": \"{}\"\n}}\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        sdc_tensor::simd::active_isa()
+    )
+}
+
 /// A small but non-trivial model for benchmarking.
 pub fn bench_model() -> ContrastiveModel {
     ContrastiveModel::new(&ModelConfig {

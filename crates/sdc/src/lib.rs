@@ -4,6 +4,9 @@
 //! reproduction: re-exports the full stack under one dependency.
 //!
 //! * [`tensor`] — CPU tensors + reverse-mode autodiff.
+//! * [`simd`] — the runtime-dispatched vectorized kernel layer behind
+//!   the non-GEMM tensor ops (AVX2 or portable scalar, chosen once per
+//!   process; `SDC_SIMD` overrides).
 //! * [`nn`] — layers, the residual encoder, optimizers.
 //! * [`data`] — synthetic datasets, STC streams, augmentations.
 //! * [`core`] — contrast scoring, replacement policies, the on-device
@@ -56,3 +59,4 @@ pub use sdc_persist as persist;
 pub use sdc_runtime as runtime;
 pub use sdc_serve as serve;
 pub use sdc_tensor as tensor;
+pub use sdc_tensor::simd;

@@ -29,14 +29,12 @@
 use crate::error::{Result, TensorError};
 use crate::ops::conv::{conv2d_backward, conv2d_forward};
 use crate::ops::elementwise::{
-    clamp_backward, clamp_forward, div_backward, div_forward, exp_backward, exp_forward,
-    ln_backward, ln_forward, sigmoid_backward, sigmoid_forward, sqrt_backward, sqrt_forward,
-    tanh_backward, tanh_forward,
+    clamp_forward, div_forward, exp_forward, ln_forward, sigmoid_forward, sqrt_forward,
+    tanh_forward,
 };
 use crate::ops::matmul::{matmul, matmul_nt, matmul_tn, transpose};
 use crate::ops::norm::{
-    batch_norm2d_backward, batch_norm2d_forward, l2_normalize_rows_backward,
-    l2_normalize_rows_forward, BnBatchStats, BnSaved,
+    batch_norm2d_backward, batch_norm2d_forward, l2_normalize_rows_forward, BnBatchStats, BnSaved,
 };
 use crate::ops::pool::{
     avg_pool2d_backward, avg_pool2d_forward, global_avg_pool_backward, global_avg_pool_forward,
@@ -46,7 +44,9 @@ use crate::ops::reduce::{
     mean_rows_backward, mean_rows_forward, sum_cols_backward, sum_cols_forward, sum_rows_backward,
     sum_rows_forward,
 };
-use crate::ops::softmax::{log_softmax_backward, log_softmax_forward, nll_backward, nll_forward};
+use crate::ops::softmax::{log_softmax_forward, nll_backward, nll_forward};
+use crate::simd::{self, BinaryKernel, RowNorms, UnaryKernel};
+use crate::tensor::DestBuf;
 use crate::{Shape, Tensor};
 
 mod sched;
@@ -83,7 +83,7 @@ enum Op {
     BatchNorm2d { x: VarId, gamma: VarId, beta: VarId, saved: BnSaved },
     Reshape(VarId),
     Concat0 { a: VarId, b: VarId, split: usize },
-    L2NormalizeRows { x: VarId, norms: Vec<f32> },
+    L2NormalizeRows { x: VarId, norms: RowNorms },
     LogSoftmax(VarId),
     NllLoss { logp: VarId, targets: Vec<usize> },
     MaskedFill { x: VarId, mask: Vec<bool> },
@@ -358,13 +358,13 @@ impl Graph {
 
     /// Multiplies every element by a constant.
     pub fn scale(&mut self, x: VarId, c: f32) -> VarId {
-        let value = self.nodes[x.0].value.map(|v| v * c);
+        let value = simd::unary(UnaryKernel::Scale { c }, &self.nodes[x.0].value);
         self.push(Op::Scale(x, c), value)
     }
 
     /// Adds a constant to every element.
     pub fn add_scalar(&mut self, x: VarId, c: f32) -> VarId {
-        let value = self.nodes[x.0].value.map(|v| v + c);
+        let value = simd::unary(UnaryKernel::AddScalar { c }, &self.nodes[x.0].value);
         self.push(Op::AddScalar(x), value)
     }
 
@@ -433,7 +433,7 @@ impl Graph {
 
     /// Rectified linear unit, `max(x, 0)` elementwise.
     pub fn relu(&mut self, x: VarId) -> VarId {
-        let value = self.nodes[x.0].value.map(|v| v.max(0.0));
+        let value = simd::unary(UnaryKernel::Relu, &self.nodes[x.0].value);
         self.push(Op::Relu(x), value)
     }
 
@@ -820,47 +820,35 @@ impl Graph {
         }
     }
 
-    /// A copy of `src` over recycled storage when a same-sized buffer
-    /// is pooled, a fresh allocation otherwise.
+    /// A destination drawing on the gradient pool: recycled same-length
+    /// storage when a buffer is pooled, a fresh allocation otherwise.
+    /// Every pool-fed backward kernel routes through this one entry.
+    fn dest(&self, len: usize) -> DestBuf {
+        DestBuf::from(self.pool.take(len))
+    }
+
+    /// A copy of `src` over pool-drawn storage.
     fn pooled_copy(&self, src: &Tensor) -> Tensor {
-        match self.pool.take(src.len()) {
-            Some(buf) => src.copy_into(buf),
-            None => src.clone(),
-        }
+        src.copy_with(self.dest(src.len()))
     }
 
-    /// `src.map(f)` over recycled storage when available.
-    fn pooled_map(&self, src: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
-        match self.pool.take(src.len()) {
-            Some(buf) => src.map_into(buf, f),
-            None => src.map(f),
-        }
+    /// A dispatched unary kernel over pool-drawn storage.
+    fn pooled_unary(&self, k: UnaryKernel, x: &Tensor) -> Tensor {
+        simd::unary_with(k, x, self.dest(x.len()))
     }
 
-    /// `a.zip_map(b, f)` over recycled storage when available (shapes
-    /// must match, as everywhere in backward; mismatches fall through
-    /// to `zip_map`'s own typed error).
-    fn pooled_zip(
-        &self,
-        a: &Tensor,
-        b: &Tensor,
-        f: impl Fn(f32, f32) -> f32 + Sync,
-    ) -> Result<Tensor> {
-        if a.shape() != b.shape() {
-            return a.zip_map(b, f);
-        }
-        match self.pool.take(a.len()) {
-            Some(buf) => Ok(a.zip_map_into(b, buf, f)),
-            None => a.zip_map(b, f),
-        }
+    /// A dispatched binary kernel over pool-drawn storage. Backward
+    /// operand shapes always match on a well-formed tape; the typed
+    /// shape-mismatch error propagates (and aborts the sweep cleanly)
+    /// if the tape was corrupted.
+    fn pooled_binary(&self, k: BinaryKernel, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        simd::binary_with(k, a, b, self.dest(a.len()))
     }
 
-    /// `Tensor::full(shape, v)` over recycled storage when available.
+    /// `Tensor::full(shape, v)` over pool-drawn storage.
     fn pooled_full(&self, shape: Shape, value: f32) -> Tensor {
-        match self.pool.take(shape.num_elements()) {
-            Some(buf) => Tensor::full_into(shape, buf, value),
-            None => Tensor::full(shape, value),
-        }
+        let len = shape.num_elements();
+        Tensor::full_with(shape, value, self.dest(len))
     }
 
     fn backward_node(&self, i: usize, g: &Tensor) -> Result<Vec<(usize, Tensor)>> {
@@ -868,15 +856,16 @@ impl Graph {
         let out = match &node.op {
             Op::Leaf => vec![],
             Op::Add(a, b) => vec![(a.0, self.pooled_copy(g)), (b.0, self.pooled_copy(g))],
-            Op::Sub(a, b) => vec![(a.0, self.pooled_copy(g)), (b.0, self.pooled_map(g, |v| -v))],
+            Op::Sub(a, b) => {
+                vec![(a.0, self.pooled_copy(g)), (b.0, self.pooled_unary(UnaryKernel::Neg, g))]
+            }
             Op::Mul(a, b) => {
-                let ga = self.pooled_zip(g, &self.nodes[b.0].value, |x, y| x * y)?;
-                let gb = self.pooled_zip(g, &self.nodes[a.0].value, |x, y| x * y)?;
+                let ga = self.pooled_binary(BinaryKernel::Mul, g, &self.nodes[b.0].value)?;
+                let gb = self.pooled_binary(BinaryKernel::Mul, g, &self.nodes[a.0].value)?;
                 vec![(a.0, ga), (b.0, gb)]
             }
             Op::Scale(x, c) => {
-                let c = *c;
-                vec![(x.0, self.pooled_map(g, move |v| v * c))]
+                vec![(x.0, self.pooled_unary(UnaryKernel::Scale { c: *c }, g))]
             }
             Op::AddScalar(x) => vec![(x.0, self.pooled_copy(g))],
             Op::AddBias { x, b } => {
@@ -903,12 +892,7 @@ impl Graph {
             }
             Op::Transpose(x) => vec![(x.0, transpose(g)?)],
             Op::Relu(x) => {
-                let gx =
-                    self.pooled_zip(
-                        g,
-                        &self.nodes[x.0].value,
-                        |gv, xv| if xv > 0.0 { gv } else { 0.0 },
-                    )?;
+                let gx = self.pooled_binary(BinaryKernel::ReluBwd, g, &self.nodes[x.0].value)?;
                 vec![(x.0, gx)]
             }
             Op::Conv2d { x, w, b, stride, padding } => {
@@ -960,9 +944,17 @@ impl Graph {
                 vec![(a.0, ga), (b.0, gb)]
             }
             Op::L2NormalizeRows { x, norms } => {
-                vec![(x.0, l2_normalize_rows_backward(&node.value, norms, g))]
+                let gx = simd::l2_normalize_rows_backward_with(
+                    &node.value,
+                    norms,
+                    g,
+                    self.dest(g.len()),
+                );
+                vec![(x.0, gx)]
             }
-            Op::LogSoftmax(x) => vec![(x.0, log_softmax_backward(&node.value, g))],
+            Op::LogSoftmax(x) => {
+                vec![(x.0, simd::log_softmax_backward_with(&node.value, g, self.dest(g.len())))]
+            }
             Op::NllLoss { logp, targets } => {
                 let (n, d) = self.nodes[logp.0].value.shape().as_matrix().expect("validated");
                 vec![(logp.0, nll_backward((n, d), targets, g.item()))]
@@ -985,16 +977,26 @@ impl Graph {
                 let parent = &self.nodes[x.0].value;
                 vec![(x.0, self.pooled_full(parent.shape().clone(), g.item()))]
             }
-            Op::Exp(x) => vec![(x.0, exp_backward(&node.value, g))],
-            Op::Ln { x, eps } => vec![(x.0, ln_backward(&self.nodes[x.0].value, g, *eps))],
-            Op::Sqrt(x) => vec![(x.0, sqrt_backward(&node.value, g))],
-            Op::Tanh(x) => vec![(x.0, tanh_backward(&node.value, g))],
-            Op::Sigmoid(x) => vec![(x.0, sigmoid_backward(&node.value, g))],
+            Op::Exp(x) => vec![(x.0, self.pooled_binary(BinaryKernel::Mul, g, &node.value)?)],
+            Op::Ln { x, eps } => {
+                let k = BinaryKernel::LnBwd { eps: *eps };
+                vec![(x.0, self.pooled_binary(k, g, &self.nodes[x.0].value)?)]
+            }
+            Op::Sqrt(x) => vec![(x.0, self.pooled_binary(BinaryKernel::SqrtBwd, g, &node.value)?)],
+            Op::Tanh(x) => vec![(x.0, self.pooled_binary(BinaryKernel::TanhBwd, g, &node.value)?)],
+            Op::Sigmoid(x) => {
+                vec![(x.0, self.pooled_binary(BinaryKernel::SigmoidBwd, g, &node.value)?)]
+            }
             Op::Clamp { x, lo, hi } => {
-                vec![(x.0, clamp_backward(&self.nodes[x.0].value, g, *lo, *hi))]
+                let k = BinaryKernel::ClampBwd { lo: *lo, hi: *hi };
+                vec![(x.0, self.pooled_binary(k, g, &self.nodes[x.0].value)?)]
             }
             Op::Div(a, b) => {
-                let (da, db) = div_backward(&self.nodes[a.0].value, &self.nodes[b.0].value, g);
+                let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                let da = self.pooled_binary(BinaryKernel::Div, g, bv)?;
+                let num = self.pooled_binary(BinaryKernel::Mul, g, av)?;
+                let db = self.pooled_binary(BinaryKernel::NegDivSq, &num, bv)?;
+                self.pool.recycle(num);
                 vec![(a.0, da), (b.0, db)]
             }
             Op::AvgPool2d { x, k, s } => {

@@ -44,10 +44,12 @@ mod graph;
 pub mod ops;
 mod par;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use error::{Result, TensorError};
 pub use graph::{Graph, VarId};
 pub use ops::norm::{BnBatchStats, BnSaved};
 pub use shape::Shape;
-pub use tensor::Tensor;
+pub use simd::RowNorms;
+pub use tensor::{DestBuf, Tensor};

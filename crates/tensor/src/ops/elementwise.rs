@@ -2,59 +2,65 @@
 //!
 //! These back the [`Graph`](crate::Graph) unary ops: `exp`, `ln`,
 //! `sqrt`, `tanh`, `sigmoid`, `clamp`, and elementwise division.
+//!
+//! Since the SIMD redesign every function here is a thin shim over the
+//! runtime-dispatched kernel descriptors in [`crate::simd`] — kept so
+//! downstream crates compile unchanged. New code should prefer
+//! [`crate::simd::unary`]/[`crate::simd::binary`] directly (optionally
+//! with a pooled [`DestBuf`](crate::DestBuf) destination).
 
 use crate::error::{Result, TensorError};
+use crate::simd::{self, BinaryKernel, UnaryKernel};
 use crate::Tensor;
 
 /// `y = exp(x)`.
 pub fn exp_forward(x: &Tensor) -> Tensor {
-    x.map(f32::exp)
+    simd::unary(UnaryKernel::Exp, x)
 }
 
 /// Backward of `exp`: `dx = gy * y`.
 pub fn exp_backward(y: &Tensor, gy: &Tensor) -> Tensor {
-    gy.zip_map(y, |g, yv| g * yv).expect("same shape by construction")
+    simd::binary(BinaryKernel::Mul, gy, y).expect("same shape by construction")
 }
 
 /// `y = ln(max(x, eps))` — clamped to keep the log finite.
 pub fn ln_forward(x: &Tensor, eps: f32) -> Tensor {
-    x.map(|v| v.max(eps).ln())
+    simd::unary(UnaryKernel::Ln { eps }, x)
 }
 
 /// Backward of `ln`: `dx = gy / max(x, eps)`.
 pub fn ln_backward(x: &Tensor, gy: &Tensor, eps: f32) -> Tensor {
-    gy.zip_map(x, |g, xv| g / xv.max(eps)).expect("same shape by construction")
+    simd::binary(BinaryKernel::LnBwd { eps }, gy, x).expect("same shape by construction")
 }
 
 /// `y = sqrt(max(x, 0))`.
 pub fn sqrt_forward(x: &Tensor) -> Tensor {
-    x.map(|v| v.max(0.0).sqrt())
+    simd::unary(UnaryKernel::Sqrt, x)
 }
 
 /// Backward of `sqrt`: `dx = gy / (2·sqrt(x))`, 0 at the origin.
 pub fn sqrt_backward(y: &Tensor, gy: &Tensor) -> Tensor {
-    gy.zip_map(y, |g, yv| if yv > 0.0 { g / (2.0 * yv) } else { 0.0 })
-        .expect("same shape by construction")
+    simd::binary(BinaryKernel::SqrtBwd, gy, y).expect("same shape by construction")
 }
 
 /// `y = tanh(x)`.
 pub fn tanh_forward(x: &Tensor) -> Tensor {
-    x.map(f32::tanh)
+    simd::unary(UnaryKernel::Tanh, x)
 }
 
 /// Backward of `tanh`: `dx = gy * (1 - y²)`.
 pub fn tanh_backward(y: &Tensor, gy: &Tensor) -> Tensor {
-    gy.zip_map(y, |g, yv| g * (1.0 - yv * yv)).expect("same shape by construction")
+    simd::binary(BinaryKernel::TanhBwd, gy, y).expect("same shape by construction")
 }
 
 /// `y = 1 / (1 + exp(-x))`.
 pub fn sigmoid_forward(x: &Tensor) -> Tensor {
-    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+    simd::unary(UnaryKernel::Sigmoid, x)
 }
 
 /// Backward of `sigmoid`: `dx = gy * y * (1 - y)`.
 pub fn sigmoid_backward(y: &Tensor, gy: &Tensor) -> Tensor {
-    gy.zip_map(y, |g, yv| g * yv * (1.0 - yv)).expect("same shape by construction")
+    simd::binary(BinaryKernel::SigmoidBwd, gy, y).expect("same shape by construction")
 }
 
 /// `y = clamp(x, lo, hi)`.
@@ -69,13 +75,12 @@ pub fn clamp_forward(x: &Tensor, lo: f32, hi: f32) -> Result<Tensor> {
             message: format!("lo {lo} > hi {hi}"),
         });
     }
-    Ok(x.map(|v| v.clamp(lo, hi)))
+    Ok(simd::unary(UnaryKernel::Clamp { lo, hi }, x))
 }
 
 /// Backward of `clamp`: gradient passes only inside the interval.
 pub fn clamp_backward(x: &Tensor, gy: &Tensor, lo: f32, hi: f32) -> Tensor {
-    gy.zip_map(x, |g, xv| if xv > lo && xv < hi { g } else { 0.0 })
-        .expect("same shape by construction")
+    simd::binary(BinaryKernel::ClampBwd { lo, hi }, gy, x).expect("same shape by construction")
 }
 
 /// Elementwise division `a / b` (no zero-guard: callers clamp `b`).
@@ -84,14 +89,14 @@ pub fn clamp_backward(x: &Tensor, gy: &Tensor, lo: f32, hi: f32) -> Tensor {
 ///
 /// Returns an error if shapes differ.
 pub fn div_forward(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    a.zip_map(b, |x, y| x / y)
+    simd::binary(BinaryKernel::Div, a, b)
 }
 
 /// Backward of division: `da = gy / b`, `db = -gy * a / b²`.
 pub fn div_backward(a: &Tensor, b: &Tensor, gy: &Tensor) -> (Tensor, Tensor) {
-    let da = gy.zip_map(b, |g, bv| g / bv).expect("same shape");
-    let db_part = gy.zip_map(a, |g, av| g * av).expect("same shape");
-    let db = db_part.zip_map(b, |g, bv| -g / (bv * bv)).expect("same shape");
+    let da = simd::binary(BinaryKernel::Div, gy, b).expect("same shape");
+    let db_part = simd::binary(BinaryKernel::Mul, gy, a).expect("same shape");
+    let db = simd::binary(BinaryKernel::NegDivSq, &db_part, b).expect("same shape");
     (da, db)
 }
 

@@ -12,3 +12,9 @@ pub mod norm;
 pub mod pool;
 pub mod reduce;
 pub mod softmax;
+
+/// The runtime-dispatched vectorized kernel layer the elementwise,
+/// reduce, softmax, and ℓ2-norm modules above are thin shims over.
+/// Re-exported here so kernel consumers can name descriptors as
+/// `ops::kernels::UnaryKernel` without reaching around the ops facade.
+pub use crate::simd as kernels;

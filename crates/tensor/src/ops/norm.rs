@@ -1,6 +1,12 @@
 //! Normalization kernels: batch normalization and row-wise ℓ2 normalize.
+//!
+//! Row-wise ℓ2 normalization is a thin shim over the fused vectorized
+//! kernels in [`crate::simd`]; its per-row norms travel as the typed
+//! [`RowNorms`] so callers can no longer misalign a bare `Vec<f32>`.
+//! Batch normalization remains scalar.
 
 use crate::error::{Result, TensorError};
+use crate::simd::{self, RowNorms};
 use crate::Tensor;
 
 /// Per-channel statistics computed by a training-mode batch-norm forward
@@ -174,50 +180,20 @@ pub fn batch_norm2d_backward(
 
 /// Row-wise ℓ2 normalization of a rank-2 tensor: `y[i] = x[i] / ‖x[i]‖`.
 ///
-/// Returns the normalized tensor and the per-row norms (clamped away from
-/// zero by `eps`) needed by the backward pass.
+/// Returns the normalized tensor and the typed per-row norms (clamped
+/// away from zero by `eps`) needed by the backward pass.
 ///
 /// # Errors
 ///
 /// Returns an error if the input is not rank-2.
-pub fn l2_normalize_rows_forward(x: &Tensor, eps: f32) -> Result<(Tensor, Vec<f32>)> {
-    let (n, d) = x.shape().as_matrix().ok_or_else(|| TensorError::RankMismatch {
-        op: "l2_normalize_rows",
-        expected: 2,
-        actual: x.shape().clone(),
-    })?;
-    let xd = x.data();
-    let mut y = Tensor::zeros([n, d]);
-    let yd = y.data_mut();
-    let mut norms = Vec::with_capacity(n);
-    for i in 0..n {
-        let row = &xd[i * d..(i + 1) * d];
-        let norm = row.iter().map(|&v| v * v).sum::<f32>().sqrt().max(eps);
-        norms.push(norm);
-        for j in 0..d {
-            yd[i * d + j] = row[j] / norm;
-        }
-    }
-    Ok((y, norms))
+pub fn l2_normalize_rows_forward(x: &Tensor, eps: f32) -> Result<(Tensor, RowNorms)> {
+    simd::l2_normalize_rows(x, eps)
 }
 
 /// Backward of row-wise ℓ2 normalization:
 /// `dx[i] = (g[i] - y[i] * <g[i], y[i]>) / ‖x[i]‖`.
-pub fn l2_normalize_rows_backward(y: &Tensor, norms: &[f32], gy: &Tensor) -> Tensor {
-    let (n, d) = y.shape().as_matrix().expect("validated in forward");
-    let yd = y.data();
-    let gd = gy.data();
-    let mut dx = Tensor::zeros([n, d]);
-    let dxd = dx.data_mut();
-    for i in 0..n {
-        let yr = &yd[i * d..(i + 1) * d];
-        let gr = &gd[i * d..(i + 1) * d];
-        let dot: f32 = yr.iter().zip(gr).map(|(&a, &b)| a * b).sum();
-        for j in 0..d {
-            dxd[i * d + j] = (gr[j] - yr[j] * dot) / norms[i];
-        }
-    }
-    dx
+pub fn l2_normalize_rows_backward(y: &Tensor, norms: &RowNorms, gy: &Tensor) -> Tensor {
+    simd::l2_normalize_rows_backward(y, norms, gy)
 }
 
 #[cfg(test)]

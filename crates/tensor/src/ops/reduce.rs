@@ -1,7 +1,11 @@
 //! Row reductions over rank-2 tensors.
+//!
+//! Since the SIMD redesign the forward reductions are thin shims over
+//! the runtime-dispatched [`crate::simd::reduce`] descriptors; the
+//! broadcast backwards remain plain (they are memory-bound fills).
 
-use crate::error::{Result, TensorError};
-use crate::par::{self, COL_CHUNK};
+use crate::error::Result;
+use crate::simd::{self, ReduceKernel};
 use crate::Tensor;
 
 /// Sums each row of an `(n, d)` tensor into an `(n)` vector.
@@ -10,14 +14,7 @@ use crate::Tensor;
 ///
 /// Returns an error if the input is not rank-2.
 pub fn sum_rows_forward(x: &Tensor) -> Result<Tensor> {
-    let (n, d) = x.shape().as_matrix().ok_or_else(|| TensorError::RankMismatch {
-        op: "sum_rows",
-        expected: 2,
-        actual: x.shape().clone(),
-    })?;
-    let xd = x.data();
-    let data = (0..n).map(|i| xd[i * d..(i + 1) * d].iter().sum()).collect();
-    Tensor::from_vec([n], data)
+    simd::reduce(ReduceKernel::SumRows, x)
 }
 
 /// Backward of [`sum_rows_forward`]: broadcasts each row's gradient
@@ -38,12 +35,7 @@ pub fn sum_rows_backward(gy: &Tensor, n: usize, d: usize) -> Tensor {
 ///
 /// Returns an error if the input is not rank-2.
 pub fn mean_rows_forward(x: &Tensor) -> Result<Tensor> {
-    let (_, d) = x.shape().as_matrix().ok_or_else(|| TensorError::RankMismatch {
-        op: "mean_rows",
-        expected: 2,
-        actual: x.shape().clone(),
-    })?;
-    Ok(sum_rows_forward(x)?.map(|v| v / d as f32))
+    simd::reduce(ReduceKernel::MeanRows, x)
 }
 
 /// Backward of [`mean_rows_forward`].
@@ -66,23 +58,7 @@ pub fn mean_rows_backward(gy: &Tensor, n: usize, d: usize) -> Tensor {
 ///
 /// Returns an error if the input is not rank-2.
 pub fn sum_cols_forward(x: &Tensor) -> Result<Tensor> {
-    let (n, d) = x.shape().as_matrix().ok_or_else(|| TensorError::RankMismatch {
-        op: "sum_cols",
-        expected: 2,
-        actual: x.shape().clone(),
-    })?;
-    let xd = x.data();
-    let mut out = Tensor::zeros([d]);
-    par::dispatch_chunks(out.data_mut(), COL_CHUNK, n * d, |chunk_index, piece| {
-        let j0 = chunk_index * COL_CHUNK;
-        for i in 0..n {
-            let row = &xd[i * d + j0..i * d + j0 + piece.len()];
-            for (acc, &v) in piece.iter_mut().zip(row) {
-                *acc += v;
-            }
-        }
-    });
-    Ok(out)
+    simd::reduce(ReduceKernel::SumCols, x)
 }
 
 /// Backward of [`sum_cols_forward`]: broadcasts each column's gradient

@@ -1,6 +1,12 @@
 //! Row-wise log-softmax and negative log-likelihood kernels.
+//!
+//! Since the SIMD redesign, `log_softmax` forward/backward are thin
+//! shims over the fused three-pass vectorized kernels in
+//! [`crate::simd`] (max / exp-sum / normalize); NLL stays scalar (it is
+//! a sparse gather).
 
 use crate::error::{Result, TensorError};
+use crate::simd;
 use crate::Tensor;
 
 /// Row-wise log-softmax of a rank-2 tensor, computed stably by shifting by
@@ -13,41 +19,13 @@ use crate::Tensor;
 ///
 /// Returns an error if the input is not rank-2.
 pub fn log_softmax_forward(x: &Tensor) -> Result<Tensor> {
-    let (n, d) = x.shape().as_matrix().ok_or_else(|| TensorError::RankMismatch {
-        op: "log_softmax",
-        expected: 2,
-        actual: x.shape().clone(),
-    })?;
-    let xd = x.data();
-    let mut y = Tensor::zeros([n, d]);
-    let yd = y.data_mut();
-    for i in 0..n {
-        let row = &xd[i * d..(i + 1) * d];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let logsum = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
-        for j in 0..d {
-            yd[i * d + j] = row[j] - logsum;
-        }
-    }
-    Ok(y)
+    simd::log_softmax(x)
 }
 
 /// Backward of row-wise log-softmax:
 /// `dx = gy - softmax(x) * sum(gy, per row)`.
 pub fn log_softmax_backward(y: &Tensor, gy: &Tensor) -> Tensor {
-    let (n, d) = y.shape().as_matrix().expect("validated in forward");
-    let yd = y.data();
-    let gd = gy.data();
-    let mut dx = Tensor::zeros([n, d]);
-    let dxd = dx.data_mut();
-    for i in 0..n {
-        let row_sum: f32 = gd[i * d..(i + 1) * d].iter().sum();
-        for j in 0..d {
-            let p = yd[i * d + j].exp();
-            dxd[i * d + j] = gd[i * d + j] - p * row_sum;
-        }
-    }
-    dx
+    simd::log_softmax_backward(y, gy)
 }
 
 /// Mean negative log-likelihood: `-(1/n) Σ logp[i, targets[i]]`.

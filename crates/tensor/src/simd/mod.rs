@@ -1,0 +1,545 @@
+//! Runtime-dispatched vectorized kernels for the non-GEMM hot path.
+//!
+//! This module is the unified ops surface behind `exp`/`ln`/`sqrt`/
+//! `tanh`/`sigmoid`/`clamp`/`div`, the row/column reductions, the fused
+//! three-pass `log_softmax`, and `l2_normalize_rows` — every kernel the
+//! scoring path runs besides GEMM. Kernels are *descriptors*
+//! ([`UnaryKernel`], [`BinaryKernel`], [`ReduceKernel`]) evaluated by a
+//! dispatcher that picks one instruction set **once per process**:
+//!
+//! * **AVX2** on `x86-64` when the CPU supports it, entered through a
+//!   `#[target_feature(enable = "avx2")]` generic instantiation;
+//! * a **portable scalar fallback** everywhere else.
+//!
+//! The choice can be overridden with the `SDC_SIMD` environment
+//! variable (see [`SIMD_ENV`]): `SDC_SIMD=scalar` forces the fallback,
+//! `SDC_SIMD=avx2` requests AVX2 (silently falling back if the CPU
+//! lacks it). [`active_isa`] reports the decision.
+//!
+//! # The bitwise contract
+//!
+//! Every kernel body is written once, generically, against a **fixed
+//! 8-lane vector abstraction** — the scalar fallback is the same code
+//! instantiated with an `[f32; 8]` lane type. Each kernel defines a
+//! canonical lane-accumulation order (documented in the `kernels`
+//! submodule), tails run scalar code shared verbatim by both paths, and
+//! comparison/selection semantics are pinned by explicit compare+blend.
+//! Consequently the AVX2 and scalar paths are **bitwise identical**,
+//! which `tests/simd_equivalence.rs` proves against the retained
+//! [`scalar_ref`] reference at `SDC_THREADS` 1/2/7 — the same
+//! equivalence pattern as `gemm_equivalence`/`backward_equivalence`.
+//!
+//! Threading: entry points parallelise through `par::dispatch_chunks`
+//! with the historical chunk sizes (`ELEM_CHUNK`, `ROW_CHUNK`,
+//! `COL_CHUNK`, all multiples of the lane width), so chunk boundaries —
+//! and therefore results — are unchanged at any `SDC_THREADS`.
+//!
+//! Transcendentals (`exp`, `ln`, `tanh`, `sigmoid`) use Cephes-style
+//! polynomial evaluations (~2 ulp) rather than libm, because libm is
+//! not vectorisable and its exact bits are not reproducible across a
+//! lane abstraction; the polynomial definitions here are canonical for
+//! this crate from now on.
+
+#![deny(missing_docs)]
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+mod kernels;
+mod math;
+mod vec;
+
+use std::fmt;
+use std::ops::Index;
+use std::sync::OnceLock;
+
+use crate::error::{Result, TensorError};
+use crate::par;
+use crate::tensor::DestBuf;
+use crate::Tensor;
+
+use kernels::{
+    dispatch_with, BinaryChunk, L2NormBwdChunk, LogSoftmaxBwdChunk, LogSoftmaxChunk, RowDivChunk,
+    RowNormsChunk, RowReduceChunk, SumColsChunk, UnaryChunk,
+};
+
+/// Environment variable overriding the dispatched instruction set:
+/// `scalar` forces the portable fallback, `avx2` requests AVX2 (used
+/// only if the CPU supports it). Read once per process.
+pub const SIMD_ENV: &str = "SDC_SIMD";
+
+/// The instruction set a kernel dispatch runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Isa {
+    /// Portable scalar fallback: the generic kernels instantiated with
+    /// an `[f32; 8]` lane group; correct on every architecture.
+    Scalar,
+    /// AVX2 256-bit path on `x86-64`, selected after runtime detection.
+    Avx2,
+}
+
+impl Isa {
+    /// Stable lowercase name (`"scalar"` / `"avx2"`), as accepted by
+    /// [`SIMD_ENV`] and recorded in bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2 => "avx2",
+        }
+    }
+}
+
+impl fmt::Display for Isa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_isa() -> Isa {
+    if avx2::avx2_available() {
+        Isa::Avx2
+    } else {
+        Isa::Scalar
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_isa() -> Isa {
+    Isa::Scalar
+}
+
+/// The instruction set every kernel in this process dispatches to.
+///
+/// Decided once on first use: `SDC_SIMD=scalar` forces the fallback,
+/// `SDC_SIMD=avx2` requests AVX2 (falling back to scalar when the CPU
+/// lacks it), anything else defers to runtime feature detection.
+pub fn active_isa() -> Isa {
+    static ISA: OnceLock<Isa> = OnceLock::new();
+    *ISA.get_or_init(|| match std::env::var(SIMD_ENV).ok().as_deref() {
+        Some("scalar") => Isa::Scalar,
+        Some("avx2") => detect_isa(),
+        _ => detect_isa(),
+    })
+}
+
+/// Elementwise unary kernels. Each variant documents its canonical
+/// semantics — what the dispatcher computes on every ISA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnaryKernel {
+    /// `exp(x)`: overflow → `+inf`, deep underflow → `0`, NaN → the
+    /// canonical quiet NaN.
+    Exp,
+    /// `ln(max(x, eps))` — the eps clamp keeps the log's domain
+    /// positive and normal. `eps` must be a positive normal number.
+    Ln {
+        /// Lower clamp applied before the log.
+        eps: f32,
+    },
+    /// `sqrt(max(x, 0))` (IEEE correctly rounded; NaN → 0 via the
+    /// canonical max).
+    Sqrt,
+    /// `tanh(x)` via `sign(x)·(1-e)/(1+e)` with `e = exp(-2|x|)`.
+    Tanh,
+    /// Logistic sigmoid `1/(1+exp(-x))`.
+    Sigmoid,
+    /// `clamp(x, lo, hi)`; NaN propagates unchanged like `f32::clamp`.
+    Clamp {
+        /// Lower bound.
+        lo: f32,
+        /// Upper bound.
+        hi: f32,
+    },
+    /// `max(x, 0)` by compare+select (NaN and `-0.0` map to `+0.0`).
+    Relu,
+    /// `x * c`.
+    Scale {
+        /// The constant factor.
+        c: f32,
+    },
+    /// `x + c`.
+    AddScalar {
+        /// The constant addend.
+        c: f32,
+    },
+    /// Sign-bit flip (exactly Rust's unary `-`).
+    Neg,
+}
+
+/// Elementwise binary kernels over same-shape operands `(a, b)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BinaryKernel {
+    /// `a + b`.
+    Add,
+    /// `a - b`.
+    Sub,
+    /// `a * b`.
+    Mul,
+    /// `a / b` (no zero-guard; callers clamp `b`).
+    Div,
+    /// tanh backward `g·(1 - y²)` with `(a, b) = (gy, y)`.
+    TanhBwd,
+    /// sigmoid backward `g·y·(1 - y)` with `(a, b) = (gy, y)`.
+    SigmoidBwd,
+    /// sqrt backward `g/(2y)` where `y > 0`, else 0, with
+    /// `(a, b) = (gy, y)`.
+    SqrtBwd,
+    /// ln backward `g / max(x, eps)` with `(a, b) = (gy, x)`.
+    LnBwd {
+        /// The forward pass's domain clamp.
+        eps: f32,
+    },
+    /// clamp backward: `g` strictly inside `(lo, hi)`, else 0, with
+    /// `(a, b) = (gy, x)`.
+    ClampBwd {
+        /// Lower bound of the forward clamp.
+        lo: f32,
+        /// Upper bound of the forward clamp.
+        hi: f32,
+    },
+    /// relu backward: `g` where `x > 0`, else 0, with `(a, b) = (gy, x)`.
+    ReluBwd,
+    /// `(-a) / b²` — the second half of division's `db`.
+    NegDivSq,
+}
+
+/// Horizontal reduction kernels over rank-2 tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceKernel {
+    /// Sum each row of `(n, d)` into `(n)`.
+    SumRows,
+    /// Mean of each row of `(n, d)` into `(n)`.
+    MeanRows,
+    /// Sum each column of `(n, d)` into `(d)`; columns accumulate rows
+    /// in ascending order (the historical `sum_cols` bits).
+    SumCols,
+}
+
+/// Per-row ℓ2 norms produced by [`l2_normalize_rows`], typed so callers
+/// can no longer mix up which tensor a bare `Vec<f32>` belonged to. The
+/// backward pass consumes it alongside the normalized output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowNorms(Vec<f32>);
+
+impl RowNorms {
+    /// Wrap a raw norms vector (one entry per row).
+    pub fn from_vec(norms: Vec<f32>) -> Self {
+        RowNorms(norms)
+    }
+
+    /// The norms as a slice, row-aligned with the normalized tensor.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.0
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Index<usize> for RowNorms {
+    type Output = f32;
+
+    fn index(&self, i: usize) -> &f32 {
+        &self.0[i]
+    }
+}
+
+fn require_matrix(x: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    x.shape().as_matrix().ok_or_else(|| TensorError::RankMismatch {
+        op,
+        expected: 2,
+        actual: x.shape().clone(),
+    })
+}
+
+fn unary_impl(k: UnaryKernel, x: &Tensor, dest: DestBuf, isa: Isa) -> Tensor {
+    let n = x.len();
+    let mut data = dest.take(n);
+    let src = x.data();
+    par::dispatch_chunks(&mut data, par::ELEM_CHUNK, n, |ci, piece| {
+        let base = ci * par::ELEM_CHUNK;
+        dispatch_with(isa, UnaryChunk { k, src: &src[base..base + piece.len()], dst: piece });
+    });
+    Tensor::from_vec(x.shape().clone(), data).expect("destination length matches shape")
+}
+
+fn binary_impl(k: BinaryKernel, a: &Tensor, b: &Tensor, dest: DestBuf, isa: Isa) -> Result<Tensor> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "simd_binary",
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let n = a.len();
+    let mut data = dest.take(n);
+    let (ad, bd) = (a.data(), b.data());
+    par::dispatch_chunks(&mut data, par::ELEM_CHUNK, n, |ci, piece| {
+        let base = ci * par::ELEM_CHUNK;
+        let end = base + piece.len();
+        dispatch_with(isa, BinaryChunk { k, a: &ad[base..end], b: &bd[base..end], dst: piece });
+    });
+    Ok(Tensor::from_vec(a.shape().clone(), data).expect("destination length matches shape"))
+}
+
+fn reduce_impl(k: ReduceKernel, x: &Tensor, isa: Isa) -> Result<Tensor> {
+    let (n, d) = require_matrix(x, "simd_reduce")?;
+    let xd = x.data();
+    match k {
+        ReduceKernel::SumRows | ReduceKernel::MeanRows => {
+            let mut out = Tensor::zeros([n]);
+            par::dispatch_chunks(out.data_mut(), par::ROW_CHUNK, n * d, |ci, piece| {
+                let row0 = ci * par::ROW_CHUNK;
+                let src = &xd[row0 * d..(row0 + piece.len()) * d];
+                dispatch_with(isa, RowReduceChunk { k, src, d, dst: piece });
+            });
+            Ok(out)
+        }
+        ReduceKernel::SumCols => {
+            let mut out = Tensor::zeros([d]);
+            par::dispatch_chunks(out.data_mut(), par::COL_CHUNK, n * d, |ci, piece| {
+                let j0 = ci * par::COL_CHUNK;
+                dispatch_with(isa, SumColsChunk { src: xd, n, d, j0, dst: piece });
+            });
+            Ok(out)
+        }
+    }
+}
+
+fn log_softmax_impl(x: &Tensor, isa: Isa) -> Result<Tensor> {
+    let (n, d) = require_matrix(x, "log_softmax")?;
+    let xd = x.data();
+    let mut y = Tensor::zeros([n, d]);
+    par::dispatch_chunks(y.data_mut(), par::ROW_CHUNK * d, n * d, |ci, piece| {
+        let base = ci * par::ROW_CHUNK * d;
+        dispatch_with(isa, LogSoftmaxChunk { src: &xd[base..base + piece.len()], d, dst: piece });
+    });
+    Ok(y)
+}
+
+fn log_softmax_backward_impl(y: &Tensor, gy: &Tensor, dest: DestBuf, isa: Isa) -> Tensor {
+    let (n, d) = y.shape().as_matrix().expect("validated in forward");
+    let (yd, gd) = (y.data(), gy.data());
+    let mut data = dest.take(n * d);
+    par::dispatch_chunks(&mut data, par::ROW_CHUNK * d, n * d, |ci, piece| {
+        let base = ci * par::ROW_CHUNK * d;
+        let end = base + piece.len();
+        dispatch_with(
+            isa,
+            LogSoftmaxBwdChunk { y: &yd[base..end], gy: &gd[base..end], d, dst: piece },
+        );
+    });
+    Tensor::from_vec([n, d], data).expect("destination length matches shape")
+}
+
+fn l2_normalize_rows_impl(x: &Tensor, eps: f32, isa: Isa) -> Result<(Tensor, RowNorms)> {
+    let (n, d) = require_matrix(x, "l2_normalize_rows")?;
+    let xd = x.data();
+
+    // Pass 1: fused per-row sum-of-squares → sqrt → eps clamp.
+    let mut norms = vec![0.0f32; n];
+    par::dispatch_chunks(&mut norms, par::ROW_CHUNK, n * d, |ci, piece| {
+        let row0 = ci * par::ROW_CHUNK;
+        let src = &xd[row0 * d..(row0 + piece.len()) * d];
+        dispatch_with(isa, RowNormsChunk { src, d, eps, dst: piece });
+    });
+
+    // Pass 2: rowwise divide by the norm.
+    let mut y = Tensor::zeros([n, d]);
+    par::dispatch_chunks(y.data_mut(), par::ROW_CHUNK * d, n * d, |ci, piece| {
+        let row0 = ci * par::ROW_CHUNK;
+        let rows = piece.len() / d.max(1);
+        dispatch_with(
+            isa,
+            RowDivChunk {
+                src: &xd[row0 * d..row0 * d + piece.len()],
+                norms: &norms[row0..row0 + rows],
+                d,
+                dst: piece,
+            },
+        );
+    });
+    Ok((y, RowNorms(norms)))
+}
+
+fn l2_normalize_rows_backward_impl(
+    y: &Tensor,
+    norms: &RowNorms,
+    gy: &Tensor,
+    dest: DestBuf,
+    isa: Isa,
+) -> Tensor {
+    let (n, d) = y.shape().as_matrix().expect("validated in forward");
+    let (yd, gd) = (y.data(), gy.data());
+    let nd = norms.as_slice();
+    let mut data = dest.take(n * d);
+    par::dispatch_chunks(&mut data, par::ROW_CHUNK * d, n * d, |ci, piece| {
+        let row0 = ci * par::ROW_CHUNK;
+        let base = row0 * d;
+        let end = base + piece.len();
+        let rows = piece.len() / d.max(1);
+        dispatch_with(
+            isa,
+            L2NormBwdChunk {
+                y: &yd[base..end],
+                gy: &gd[base..end],
+                norms: &nd[row0..row0 + rows],
+                d,
+                dst: piece,
+            },
+        );
+    });
+    Tensor::from_vec([n, d], data).expect("destination length matches shape")
+}
+
+/// Apply a unary kernel elementwise, allocating a fresh output.
+pub fn unary(k: UnaryKernel, x: &Tensor) -> Tensor {
+    unary_impl(k, x, DestBuf::fresh(), active_isa())
+}
+
+/// Apply a unary kernel elementwise into a caller-supplied destination
+/// buffer (e.g. one drawn from the gradient pool).
+pub fn unary_with(k: UnaryKernel, x: &Tensor, dest: DestBuf) -> Tensor {
+    unary_impl(k, x, dest, active_isa())
+}
+
+/// Apply a binary kernel elementwise, allocating a fresh output.
+///
+/// # Errors
+///
+/// Returns an error if the operand shapes differ.
+pub fn binary(k: BinaryKernel, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    binary_impl(k, a, b, DestBuf::fresh(), active_isa())
+}
+
+/// Apply a binary kernel elementwise into a caller-supplied destination
+/// buffer.
+///
+/// # Errors
+///
+/// Returns an error if the operand shapes differ.
+pub fn binary_with(k: BinaryKernel, a: &Tensor, b: &Tensor, dest: DestBuf) -> Result<Tensor> {
+    binary_impl(k, a, b, dest, active_isa())
+}
+
+/// Run a horizontal reduction over a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank-2.
+pub fn reduce(k: ReduceKernel, x: &Tensor) -> Result<Tensor> {
+    reduce_impl(k, x, active_isa())
+}
+
+/// Fused three-pass row-wise log-softmax (max / exp-sum / normalize).
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank-2.
+pub fn log_softmax(x: &Tensor) -> Result<Tensor> {
+    log_softmax_impl(x, active_isa())
+}
+
+/// Backward of [`log_softmax`]: `dx = gy - exp(y)·rowsum(gy)`.
+pub fn log_softmax_backward(y: &Tensor, gy: &Tensor) -> Tensor {
+    log_softmax_backward_impl(y, gy, DestBuf::fresh(), active_isa())
+}
+
+/// [`log_softmax_backward`] into a caller-supplied destination buffer.
+pub fn log_softmax_backward_with(y: &Tensor, gy: &Tensor, dest: DestBuf) -> Tensor {
+    log_softmax_backward_impl(y, gy, dest, active_isa())
+}
+
+/// Row-wise ℓ2 normalization; returns the normalized tensor and the
+/// typed per-row norms the backward pass needs.
+///
+/// # Errors
+///
+/// Returns an error if the input is not rank-2.
+pub fn l2_normalize_rows(x: &Tensor, eps: f32) -> Result<(Tensor, RowNorms)> {
+    l2_normalize_rows_impl(x, eps, active_isa())
+}
+
+/// Backward of [`l2_normalize_rows`]:
+/// `dx = (gy - y·⟨gy, y⟩)/norm` per row.
+pub fn l2_normalize_rows_backward(y: &Tensor, norms: &RowNorms, gy: &Tensor) -> Tensor {
+    l2_normalize_rows_backward_impl(y, norms, gy, DestBuf::fresh(), active_isa())
+}
+
+/// [`l2_normalize_rows_backward`] into a caller-supplied destination
+/// buffer.
+pub fn l2_normalize_rows_backward_with(
+    y: &Tensor,
+    norms: &RowNorms,
+    gy: &Tensor,
+    dest: DestBuf,
+) -> Tensor {
+    l2_normalize_rows_backward_impl(y, norms, gy, dest, active_isa())
+}
+
+/// The retained scalar reference: every public entry point, forced onto
+/// the portable scalar instantiation regardless of [`active_isa`].
+///
+/// `tests/simd_equivalence.rs` proves the dispatched path bitwise-equal
+/// to these functions at `SDC_THREADS` 1/2/7 — the same role
+/// `gemm::naive` plays for the blocked GEMM.
+pub mod scalar_ref {
+    use super::*;
+
+    /// Scalar-reference [`super::unary`].
+    pub fn unary(k: UnaryKernel, x: &Tensor) -> Tensor {
+        unary_impl(k, x, DestBuf::fresh(), Isa::Scalar)
+    }
+
+    /// Scalar-reference [`super::binary`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the operand shapes differ.
+    pub fn binary(k: BinaryKernel, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        binary_impl(k, a, b, DestBuf::fresh(), Isa::Scalar)
+    }
+
+    /// Scalar-reference [`super::reduce`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is not rank-2.
+    pub fn reduce(k: ReduceKernel, x: &Tensor) -> Result<Tensor> {
+        reduce_impl(k, x, Isa::Scalar)
+    }
+
+    /// Scalar-reference [`super::log_softmax`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is not rank-2.
+    pub fn log_softmax(x: &Tensor) -> Result<Tensor> {
+        log_softmax_impl(x, Isa::Scalar)
+    }
+
+    /// Scalar-reference [`super::log_softmax_backward`].
+    pub fn log_softmax_backward(y: &Tensor, gy: &Tensor) -> Tensor {
+        log_softmax_backward_impl(y, gy, DestBuf::fresh(), Isa::Scalar)
+    }
+
+    /// Scalar-reference [`super::l2_normalize_rows`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input is not rank-2.
+    pub fn l2_normalize_rows(x: &Tensor, eps: f32) -> Result<(Tensor, RowNorms)> {
+        l2_normalize_rows_impl(x, eps, Isa::Scalar)
+    }
+
+    /// Scalar-reference [`super::l2_normalize_rows_backward`].
+    pub fn l2_normalize_rows_backward(y: &Tensor, norms: &RowNorms, gy: &Tensor) -> Tensor {
+        l2_normalize_rows_backward_impl(y, norms, gy, DestBuf::fresh(), Isa::Scalar)
+    }
+}

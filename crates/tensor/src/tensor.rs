@@ -8,6 +8,44 @@ use serde::{Deserialize, Serialize};
 use crate::error::{Result, TensorError};
 use crate::Shape;
 
+/// A destination buffer for kernel outputs: either freshly allocated
+/// or recycled storage (e.g. drawn from the graph's gradient pool).
+///
+/// This is the single seam through which every output-producing kernel
+/// — [`Tensor::map_with`], [`Tensor::zip_map_with`], and the
+/// [`simd`](crate::simd) entry points — accepts reusable storage. A
+/// recycled buffer of the wrong length is silently discarded and
+/// replaced by a fresh allocation, so callers never have to pre-check.
+#[derive(Debug, Default)]
+pub struct DestBuf(Option<Vec<f32>>);
+
+impl DestBuf {
+    /// A destination that allocates fresh storage.
+    pub fn fresh() -> Self {
+        DestBuf(None)
+    }
+
+    /// A destination reusing `buf`'s storage (used if its length
+    /// matches the kernel's output).
+    pub fn reuse(buf: Vec<f32>) -> Self {
+        DestBuf(Some(buf))
+    }
+
+    /// Resolve to a writable buffer of exactly `len` elements.
+    pub(crate) fn take(self, len: usize) -> Vec<f32> {
+        match self.0 {
+            Some(buf) if buf.len() == len => buf,
+            _ => vec![0.0; len],
+        }
+    }
+}
+
+impl From<Option<Vec<f32>>> for DestBuf {
+    fn from(buf: Option<Vec<f32>>) -> Self {
+        DestBuf(buf)
+    }
+}
+
 /// A dense, row-major tensor of `f32` values.
 ///
 /// `Tensor` is the plain-value workhorse of the stack: model parameters,
@@ -209,13 +247,13 @@ impl Tensor {
         Self { shape: self.shape.clone(), data }
     }
 
-    /// [`Tensor::map`] writing into a caller-provided buffer of exactly
-    /// `self.len()` elements (the graph backward's gradient pool feeds
-    /// recycled buffers through here). Chunking is identical to `map`,
-    /// so the result is bit-identical to it at any thread count.
-    pub(crate) fn map_into(&self, mut data: Vec<f32>, f: impl Fn(f32) -> f32 + Sync) -> Self {
+    /// [`Tensor::map`] writing into a [`DestBuf`] destination (the
+    /// graph backward's gradient pool feeds recycled buffers through
+    /// here). Chunking is identical to `map`, so the result is
+    /// bit-identical to it at any thread count.
+    pub fn map_with(&self, dest: DestBuf, f: impl Fn(f32) -> f32 + Sync) -> Self {
         let n = self.data.len();
-        debug_assert_eq!(data.len(), n, "map_into buffer length mismatch");
+        let mut data = dest.take(n);
         if !crate::par::parallelize(n) {
             for (o, &x) in data.iter_mut().zip(&self.data) {
                 *o = f(x);
@@ -232,39 +270,50 @@ impl Tensor {
         Self { shape: self.shape.clone(), data }
     }
 
-    /// A copy of `self` whose storage is the caller-provided buffer
-    /// (length must equal `self.len()`).
-    pub(crate) fn copy_into(&self, mut data: Vec<f32>) -> Self {
-        debug_assert_eq!(data.len(), self.data.len(), "copy_into buffer length mismatch");
+    /// A copy of `self` whose storage comes from a [`DestBuf`]
+    /// destination.
+    pub fn copy_with(&self, dest: DestBuf) -> Self {
+        let mut data = dest.take(self.data.len());
         data.copy_from_slice(&self.data);
         Self { shape: self.shape.clone(), data }
     }
 
-    /// A constant tensor over a caller-provided buffer (length must
-    /// equal the shape's element count).
-    pub(crate) fn full_into(shape: Shape, mut data: Vec<f32>, value: f32) -> Self {
-        debug_assert_eq!(data.len(), shape.num_elements(), "full_into buffer length mismatch");
+    /// A constant tensor whose storage comes from a [`DestBuf`]
+    /// destination.
+    pub fn full_with(shape: impl Into<Shape>, value: f32, dest: DestBuf) -> Self {
+        let shape = shape.into();
+        let mut data = dest.take(shape.num_elements());
         data.iter_mut().for_each(|x| *x = value);
         Self { shape, data }
     }
 
-    /// [`Tensor::zip_map`] writing into a caller-provided buffer;
-    /// shapes must already match and the buffer length must equal
-    /// `self.len()`. Chunking is identical to `zip_map`.
-    pub(crate) fn zip_map_into(
+    /// [`Tensor::zip_map`] writing into a [`DestBuf`] destination.
+    /// Chunking is identical to `zip_map`, so the result is
+    /// bit-identical to it at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn zip_map_with(
         &self,
         other: &Tensor,
-        mut data: Vec<f32>,
+        dest: DestBuf,
         f: impl Fn(f32, f32) -> f32 + Sync,
-    ) -> Self {
+    ) -> Result<Self> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "zip_map",
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
         let n = self.data.len();
-        debug_assert_eq!(self.shape, other.shape, "zip_map_into shape mismatch");
-        debug_assert_eq!(data.len(), n, "zip_map_into buffer length mismatch");
+        let mut data = dest.take(n);
         if !crate::par::parallelize(n) {
             for ((o, &a), &b) in data.iter_mut().zip(&self.data).zip(&other.data) {
                 *o = f(a, b);
             }
-            return Self { shape: self.shape.clone(), data };
+            return Ok(Self { shape: self.shape.clone(), data });
         }
         let (lhs, rhs) = (&self.data, &other.data);
         sdc_runtime::par_chunks_mut(&mut data, crate::par::ELEM_CHUNK, |ci, piece| {
@@ -273,7 +322,7 @@ impl Tensor {
                 *o = f(lhs[base + j], rhs[base + j]);
             }
         });
-        Self { shape: self.shape.clone(), data }
+        Ok(Self { shape: self.shape.clone(), data })
     }
 
     /// Elementwise combination of two same-shaped tensors.
