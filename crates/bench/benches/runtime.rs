@@ -2,8 +2,9 @@
 //! contrast scoring and dense matmul at 1/2/4/8 threads, the
 //! level-scheduled `Graph::backward` over a two-tower tape at the same
 //! thread counts (plus the scheduler against the retained serial sweep
-//! at one thread), the blocked GEMM kernel against the naive `i-k-j`
-//! reference, and the zero-skip-branch experiment that motivated
+//! at one thread), the level-overlapped `Graph::forward` replay against
+//! its serial reference, the blocked GEMM kernel against the naive
+//! `i-k-j` reference, and the zero-skip-branch experiment that motivated
 //! removing the `if aip == 0.0 { continue; }` test from the matmul hot
 //! loop.
 //!
@@ -22,6 +23,20 @@ use sdc_tensor::ops::matmul::matmul;
 use sdc_tensor::{Graph, Tensor, VarId};
 use std::hint::black_box;
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Panel-cache hit rate observed while the `backward_256` group ran,
+/// stored as `f64` bits for the JSON footer (NaN until the group has
+/// run, in which case the footer field is omitted).
+static PACK_CACHE_HIT_RATE: AtomicU64 = AtomicU64::new(0x7ff8_0000_0000_0000);
+
+fn pack_cache_counts() -> (u64, u64) {
+    let reg = sdc_obs::global();
+    (
+        reg.counter("tensor.gemm.pack_cache.hit").get(),
+        reg.counter("tensor.gemm.pack_cache.miss").get(),
+    )
+}
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -82,6 +97,7 @@ fn two_tower_graph() -> (Graph, VarId) {
 fn bench_backward_by_threads(c: &mut Criterion) {
     let (mut graph, loss) = two_tower_graph();
     let mut group = c.benchmark_group("backward_256");
+    let (hit0, miss0) = pack_cache_counts();
     for &threads in &THREAD_COUNTS {
         let rt = Runtime::new(threads);
         group.bench_function(BenchmarkId::from_parameter(threads), |bch| {
@@ -89,6 +105,13 @@ fn bench_backward_by_threads(c: &mut Criterion) {
         });
     }
     group.finish();
+    // Report how often re-swept sweeps reused cached operand packs:
+    // regressions in panel caching should be visible in the JSON
+    // footer, not just as wall-time drift.
+    let (hit1, miss1) = pack_cache_counts();
+    let (hits, misses) = (hit1 - hit0, miss1 - miss0);
+    let rate = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { f64::NAN };
+    PACK_CACHE_HIT_RATE.store(rate.to_bits(), Ordering::Relaxed);
 }
 
 /// The scheduler against the retained serial reference sweep, single
@@ -103,6 +126,23 @@ fn bench_backward_sched_vs_serial(c: &mut Criterion) {
     });
     group.bench_function("serial", |bch| {
         bch.iter(|| rt.install(|| graph.backward_serial(black_box(loss)).unwrap()))
+    });
+    group.finish();
+}
+
+/// The level-overlapped forward replay against the retained serial
+/// reference over the same two-tower tape, single thread — isolates
+/// the level analysis + commit-ordering overhead of `Graph::forward`
+/// (the thread-level speedup shows up in scoring/backward groups).
+fn bench_forward_sched_vs_serial(c: &mut Criterion) {
+    let (mut graph, loss) = two_tower_graph();
+    let rt = Runtime::new(1);
+    let mut group = c.benchmark_group("forward_256");
+    group.bench_function("level", |bch| {
+        bch.iter(|| rt.install(|| graph.forward(black_box(loss)).unwrap()))
+    });
+    group.bench_function("serial", |bch| {
+        bch.iter(|| rt.install(|| graph.forward_serial(black_box(loss)).unwrap()))
     });
     group.finish();
 }
@@ -202,6 +242,10 @@ fn write_json(c: &Criterion) {
         ));
     }
     out.push_str("  ],\n");
+    let rate = f64::from_bits(PACK_CACHE_HIT_RATE.load(Ordering::Relaxed));
+    if rate.is_finite() {
+        out.push_str(&format!("  \"pack_cache_hit_rate\": {rate:.4},\n"));
+    }
     out.push_str(&sdc_bench::json_env_footer());
     match std::fs::File::create(path) {
         Ok(mut f) => {
@@ -213,11 +257,15 @@ fn write_json(c: &Criterion) {
 }
 
 fn main() {
+    // Counter recording is normally load-gated; the hit-rate footer
+    // needs the pack-cache counters live regardless of SDC_OBS.
+    sdc_obs::set_enabled(true);
     let mut criterion = sdc_bench::bench_criterion();
     bench_scoring_by_threads(&mut criterion);
     bench_matmul_by_threads(&mut criterion);
     bench_backward_by_threads(&mut criterion);
     bench_backward_sched_vs_serial(&mut criterion);
+    bench_forward_sched_vs_serial(&mut criterion);
     bench_blocked_vs_naive(&mut criterion);
     bench_zero_skip_branch(&mut criterion);
     write_json(&criterion);

@@ -1,19 +1,46 @@
-//! 2-D convolution kernels via im2col / col2im.
+//! 2-D convolution kernels via im2col / col2im, with a fused
+//! im2col-into-packing fast path.
 //!
-//! The GEMM at the centre of the im2col path (`cols · Wᵀ`, plus the
-//! `gᵀ · cols` / `g · W` products in backward) runs on the blocked,
-//! operand-packing kernels in [`ops::gemm`](super::gemm) once the
-//! product crosses the size threshold; the weight matrix is read
-//! through the packer's strided view, so no transpose of `W` is ever
-//! materialized.
+//! ## Fused column packing
+//!
+//! The hot path no longer materializes the column matrix as a tensor.
+//! [`im2col_packed`] writes receptive-field patches **directly** into
+//! the blocked GEMM's `pack_b` panel layout (a [`PackedPanels`] value
+//! holding the *transposed* column matrix `colsᵀ`, logical shape
+//! `patch × rows`), computing each element's packed offset from the
+//! conv geometry — no intermediate column tensor, no second copy
+//! inside the GEMM. The forward product is then
+//! `prodᵀ = W · colsᵀ` via [`gemm_prepacked`](super::gemm::gemm_prepacked)
+//! and backward reuses the *same* panels for
+//! `dWᵀ = colsᵀ · g` via [`gemm_panels_a`](super::gemm::gemm_panels_a)
+//! (the graph layer caches the panels on the tape node between the
+//! two sweeps).
+//!
+//! ### Why the fused/transposed formulation cannot change rounding
+//!
+//! Relative to the unfused reference (`cols · Wᵀ` and `gᵀ · cols`),
+//! the transposed products swap the two factors of each scalar
+//! multiply while keeping the identical ascending-`k` reduction order
+//! with one accumulator per output element. `f32` multiplication is
+//! commutative at the bit level for finite values and infinities, so
+//! the fused path is bitwise-identical to the reference everywhere a
+//! finite (or ±∞) product is formed. The only representable
+//! divergence is NaN *payload* propagation when an operand is NaN
+//! (the IEEE rule picks a payload from one operand, and which operand
+//! is implementation-defined) — the same caveat the
+//! [`matmul`](super::matmul) module documents for `0 · ∞`-style
+//! non-finite inputs, and equally out of scope for the determinism
+//! contract, which covers finite data.
 //!
 //! The unfold/fold loops and the layout rearrangements parallelize over
-//! disjoint output regions (patch rows for `im2col`, per-sample channel
+//! disjoint output regions (uniform `NR`-float packed rows for
+//! [`im2col_packed`], patch rows for [`im2col`], per-sample channel
 //! images for `col2im`) on the `sdc-runtime` pool; every element is
 //! produced by exactly one chunk with the serial accumulation order, so
 //! outputs are bit-identical at any thread count.
 
 use crate::error::{Result, TensorError};
+use crate::ops::gemm::{self, PackedPanels, Trans, KC, NR};
 use crate::par;
 use crate::Tensor;
 
@@ -66,6 +93,76 @@ pub fn im2col(x: &Tensor, kernel: usize, stride: usize, padding: usize) -> Resul
         fill(ci * par::ROW_CHUNK, piece);
     });
     Ok(cols)
+}
+
+/// Unfolds `x: (n, c, h, w)` directly into the blocked GEMM's packed
+/// `B` panel layout, fusing [`im2col`] with `pack_b`.
+///
+/// The result holds the **transposed** column matrix `colsᵀ` of
+/// logical shape `(c * kh * kw, n * oh * ow)` — i.e. logical element
+/// `(p, j)` is patch element `p` of output position `j` — ready to be
+/// the `B` operand of `prodᵀ = W · colsᵀ` (forward) or the `A` operand
+/// of `dWᵀ = colsᵀ · g` (backward) without any further packing pass.
+///
+/// The writer parallelizes over uniform `NR`-float packed rows: packed
+/// row `q` lives in `k`-panel slab `q / (KC · jpanels)`, and within the
+/// slab (whose depth `kc` may be short on the final slab) addresses
+/// column panel `jp` and patch element `p_in` as
+/// `(within / kc, within % kc)`. Each row is written by exactly one
+/// chunk; panel tail lanes past the last output position and padded
+/// input positions keep the buffer's zero initialization, matching
+/// `pack_b`'s zero-padding discipline bit for bit.
+pub fn im2col_packed(
+    x: &Tensor,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Result<PackedPanels> {
+    let (n, c, h, w) = x.shape().as_nchw().ok_or_else(|| TensorError::RankMismatch {
+        op: "im2col_packed",
+        expected: 4,
+        actual: x.shape().clone(),
+    })?;
+    let oh = conv_out_dim(h, kernel, stride, padding);
+    let ow = conv_out_dim(w, kernel, stride, padding);
+    let patch = c * kernel * kernel;
+    let rows = n * oh * ow;
+    let jpanels = gemm::col_panels(rows);
+    let mut buf = vec![0.0f32; patch * jpanels * NR];
+    let xd = x.data();
+    let fill = |first_row: usize, piece: &mut [f32]| {
+        for (r, prow) in piece.chunks_mut(NR).enumerate() {
+            let q = first_row + r;
+            let slab = q / (KC * jpanels);
+            let within = q % (KC * jpanels);
+            let kc = KC.min(patch - slab * KC);
+            let (jp, p_in) = (within / kc, within % kc);
+            let p = slab * KC + p_in;
+            let ci = p / (kernel * kernel);
+            let (ky, kx) = ((p / kernel) % kernel, p % kernel);
+            let dy = ky as isize - padding as isize;
+            let dx = kx as isize - padding as isize;
+            for (lane, slot) in prow.iter_mut().enumerate() {
+                let col = jp * NR + lane;
+                if col >= rows {
+                    break; // tail lanes stay at the buffer's 0.0
+                }
+                let ni = col / (oh * ow);
+                let rem = col % (oh * ow);
+                let (oy, ox) = (rem / ow, rem % ow);
+                let iy = (oy * stride) as isize + dy;
+                let ix = (ox * stride) as isize + dx;
+                if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                    continue; // padding positions stay zero
+                }
+                *slot = xd[((ni * c + ci) * h + iy as usize) * w + ix as usize];
+            }
+        }
+    };
+    par::dispatch_chunks(&mut buf, par::ROW_CHUNK * NR, rows * patch, |ci, piece| {
+        fill(ci * par::ROW_CHUNK, piece);
+    });
+    Ok(PackedPanels::from_parts(buf, patch, rows))
 }
 
 /// Folds a column matrix produced by [`im2col`] back into an image batch,
@@ -146,6 +243,23 @@ pub fn conv2d_forward(
     stride: usize,
     padding: usize,
 ) -> Result<Tensor> {
+    conv2d_forward_packed(x, weight, bias, stride, padding).map(|(y, _)| y)
+}
+
+/// Forward 2-D convolution that also returns the fused column panels.
+///
+/// Identical to [`conv2d_forward`] (same validation, same bits) but
+/// additionally hands back the [`PackedPanels`] holding `colsᵀ` so the
+/// caller — the autodiff graph — can retain them and pass them to
+/// [`conv2d_backward_packed`], skipping the unfold entirely on the
+/// backward sweep.
+pub fn conv2d_forward_packed(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    padding: usize,
+) -> Result<(Tensor, PackedPanels)> {
     let (n, c_in, h, w) = x.shape().as_nchw().ok_or_else(|| TensorError::RankMismatch {
         op: "conv2d",
         expected: 4,
@@ -170,40 +284,42 @@ pub fn conv2d_forward(
     let oh = conv_out_dim(h, k, stride, padding);
     let ow = conv_out_dim(w, k, stride, padding);
     let patch = c_in * k * k;
+    let rows = n * oh * ow;
 
-    // (n*oh*ow, patch) x (patch, c_out) -> (n*oh*ow, c_out)
-    let cols = im2col(x, k, stride, padding)?;
+    // prodᵀ: (c_out, patch) x (patch, n*oh*ow) -> (c_out, n*oh*ow),
+    // with colsᵀ written directly in packed-panel layout.
+    let colst = im2col_packed(x, k, stride, padding)?;
     let wmat = weight.reshape([c_out, patch])?;
-    let prod = super::matmul::matmul_nt(&cols, &wmat)?;
+    let prodt = gemm::gemm_prepacked("conv2d", &wmat, Trans::N, &colst)?;
 
-    // Rearrange (n*oh*ow, c_out) into (n, c_out, oh, ow), adding bias;
-    // the parallel unit is one output channel map.
+    // Rearrange (c_out, n*oh*ow) into (n, c_out, oh, ow), adding bias;
+    // the parallel unit is one output channel map, which is contiguous
+    // in prodᵀ.
     let mut out = Tensor::zeros([n, c_out, oh, ow]);
-    let pd = prod.data();
+    let pd = prodt.data();
     let bd = bias.map(Tensor::data);
     let fill = |first_map: usize, piece: &mut [f32]| {
         for (r, omap) in piece.chunks_mut(oh * ow).enumerate() {
             let idx = first_map + r;
             let (ni, co) = (idx / c_out, idx % c_out);
             let b = bd.map_or(0.0, |b| b[co]);
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    omap[oy * ow + ox] = pd[((ni * oh + oy) * ow + ox) * c_out + co] + b;
-                }
+            let src = co * rows + ni * oh * ow;
+            for (o, slot) in omap.iter_mut().enumerate() {
+                *slot = pd[src + o] + b;
             }
         }
     };
     par::dispatch_chunks(out.data_mut(), oh * ow, n * c_out * oh * ow, fill);
-    Ok(out)
+    Ok((out, colst))
 }
 
 /// Backward 2-D convolution. Given the output gradient `gy` of shape
 /// `(n, c_out, oh, ow)`, returns `(dx, dw, db)`.
 ///
-/// The im2col matrix is recomputed rather than cached: for the small
-/// feature maps this library targets, the recomputation is cheaper than
-/// holding every convolution's unfolded input alive for the whole
-/// forward pass.
+/// The column panels are re-unfolded here via [`im2col_packed`]; the
+/// autodiff graph avoids even that by retaining the forward pass's
+/// panels on the tape node and calling [`conv2d_backward_packed`]
+/// directly, so a re-swept tape unfolds each input exactly once.
 pub fn conv2d_backward(
     x: &Tensor,
     weight: &Tensor,
@@ -211,6 +327,28 @@ pub fn conv2d_backward(
     stride: usize,
     padding: usize,
     want_bias: bool,
+) -> Result<(Tensor, Tensor, Option<Tensor>)> {
+    let (_, _, k, _) = weight.shape().as_nchw().expect("conv2d_backward: w validated in forward");
+    let colst = im2col_packed(x, k, stride, padding)?;
+    conv2d_backward_packed(x, weight, gy, stride, padding, want_bias, &colst)
+}
+
+/// Backward 2-D convolution reusing already-packed column panels.
+///
+/// `colst` must be the panels produced by [`im2col_packed`] (or
+/// returned by [`conv2d_forward_packed`]) for this exact `x`/geometry;
+/// a shape mismatch is rejected. The weight gradient is computed as
+/// `dWᵀ = colsᵀ · g` with the panels as the pre-packed `A` operand —
+/// see the module docs for why this transposed formulation is
+/// bitwise-identical to the `gᵀ · cols` reference for finite data.
+pub fn conv2d_backward_packed(
+    x: &Tensor,
+    weight: &Tensor,
+    gy: &Tensor,
+    stride: usize,
+    padding: usize,
+    want_bias: bool,
+    colst: &PackedPanels,
 ) -> Result<(Tensor, Tensor, Option<Tensor>)> {
     let (n, c_in, h, w) = x.shape().as_nchw().expect("conv2d_backward: x validated in forward");
     let (c_out, _, k, _) =
@@ -228,6 +366,13 @@ pub fn conv2d_backward(
         });
     }
     let patch = c_in * k * k;
+    if colst.k() != patch || colst.m() != n * oh * ow {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward",
+            lhs: [colst.k(), colst.m()].into(),
+            rhs: [patch, n * oh * ow].into(),
+        });
+    }
 
     // Rearrange gy (n, c_out, oh, ow) -> (n*oh*ow, c_out); the parallel
     // unit is one sample's contiguous (oh*ow, c_out) block.
@@ -251,10 +396,10 @@ pub fn conv2d_backward(
         par::dispatch_chunks(gmat.data_mut(), block, n * block, fill);
     }
 
-    let cols = im2col(x, k, stride, padding)?;
-    // dW: (c_out, patch) = gmatᵀ · cols
-    let dw_mat = super::matmul::matmul_tn(&gmat, &cols)?;
-    let dw = dw_mat.reshape([c_out, c_in, k, k])?;
+    // dWᵀ: (patch, c_out) = colsᵀ · gmat, straight off the retained
+    // panels; the transpose back to (c_out, patch) is a bit-copy.
+    let dwt = gemm::gemm_panels_a("conv2d_backward", colst, &gmat, Trans::N)?;
+    let dw = super::matmul::transpose(&dwt)?.reshape([c_out, c_in, k, k])?;
     // dcols: (n*oh*ow, patch) = gmat · Wmat
     let wmat = weight.reshape([c_out, patch])?;
     let dcols = super::matmul::matmul(&gmat, &wmat)?;
@@ -362,5 +507,99 @@ mod tests {
         let x = Tensor::zeros([1, 1, 2, 2]);
         let w = Tensor::zeros([1, 1, 1, 1]);
         assert!(conv2d_forward(&x, &w, None, 0, 0).is_err());
+    }
+
+    fn assert_bits_eq(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.shape(), b.shape());
+        for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "bit mismatch at {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fused_forward_matches_unfused_reference_bitwise() {
+        // patch = 29·3·3 = 261 straddles KC = 256; rows = 2·3·3 = 18 is
+        // not an NR multiple; padding exercises the zero lanes.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Tensor::randn([2, 29, 3, 3], 1.0, &mut rng);
+        let w = Tensor::randn([5, 29, 3, 3], 0.1, &mut rng);
+        let b = Tensor::randn([5], 0.1, &mut rng);
+        let y = conv2d_forward(&x, &w, Some(&b), 1, 1).unwrap();
+        let cols = im2col(&x, 3, 1, 1).unwrap();
+        let wmat = w.reshape([5, 261]).unwrap();
+        let prod = super::super::matmul::matmul_nt(&cols, &wmat).unwrap();
+        let (oh, ow) = (3, 3);
+        for ni in 0..2 {
+            for co in 0..5 {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let got = y.data()[((ni * 5 + co) * oh + oy) * ow + ox];
+                        let want = prod.data()[((ni * oh + oy) * ow + ox) * 5 + co] + b.data()[co];
+                        assert_eq!(got.to_bits(), want.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_dw_matches_unfused_reference_bitwise() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Tensor::randn([2, 29, 4, 4], 1.0, &mut rng);
+        let w = Tensor::randn([4, 29, 3, 3], 0.1, &mut rng);
+        let y = conv2d_forward(&x, &w, None, 2, 1).unwrap();
+        let gy = Tensor::randn(y.shape().clone(), 1.0, &mut rng);
+        let (_, dw, _) = conv2d_backward(&x, &w, &gy, 2, 1, false).unwrap();
+        // Reference dW via the unfused gᵀ · cols product.
+        let (n, c_out, oh, ow) = (2, 4, 2, 2);
+        let mut gmat = Tensor::zeros([n * oh * ow, c_out]);
+        {
+            let gd = gy.data();
+            let gm = gmat.data_mut();
+            for ni in 0..n {
+                for co in 0..c_out {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            gm[((ni * oh + oy) * ow + ox) * c_out + co] =
+                                gd[((ni * c_out + co) * oh + oy) * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+        let cols = im2col(&x, 3, 2, 1).unwrap();
+        let dw_ref = super::super::matmul::matmul_tn(&gmat, &cols).unwrap();
+        assert_bits_eq(&dw, &dw_ref.reshape([4, 29, 3, 3]).unwrap());
+    }
+
+    #[test]
+    fn retained_panels_match_fresh_unfold_bitwise() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = Tensor::randn([1, 3, 7, 7], 1.0, &mut rng);
+        let w = Tensor::randn([2, 3, 3, 3], 0.1, &mut rng);
+        let (y, colst) = conv2d_forward_packed(&x, &w, None, 1, 1).unwrap();
+        assert_bits_eq(&y, &conv2d_forward(&x, &w, None, 1, 1).unwrap());
+        let gy = Tensor::randn(y.shape().clone(), 1.0, &mut rng);
+        let (dx_a, dw_a, db_a) = conv2d_backward(&x, &w, &gy, 1, 1, true).unwrap();
+        let (dx_b, dw_b, db_b) = conv2d_backward_packed(&x, &w, &gy, 1, 1, true, &colst).unwrap();
+        assert_bits_eq(&dx_a, &dx_b);
+        assert_bits_eq(&dw_a, &dw_b);
+        assert_bits_eq(&db_a.unwrap(), &db_b.unwrap());
+    }
+
+    #[test]
+    fn mismatched_panels_are_rejected() {
+        let x = Tensor::zeros([1, 1, 4, 4]);
+        let w = Tensor::zeros([1, 1, 3, 3]);
+        let gy = Tensor::zeros([1, 1, 2, 2]);
+        // Panels unfolded with the wrong stride have the wrong column count.
+        let wrong = im2col_packed(&x, 3, 1, 0).unwrap();
+        assert!(conv2d_backward_packed(&x, &w, &gy, 2, 0, false, &wrong).is_err());
     }
 }

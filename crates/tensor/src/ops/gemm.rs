@@ -44,6 +44,20 @@
 //! output element — so the padding cannot change results even when an
 //! operand holds `NaN`/`±∞` (a padded lane may internally compute
 //! `0 · ∞ = NaN`, but that lane is dropped).
+//!
+//! ## Packed panels as first-class values
+//!
+//! [`PackedPanels`] exposes the `B`-side packing as an owned, reusable
+//! object: [`PackedPanels::pack`] performs exactly the copy the blocked
+//! kernel would do internally, and [`gemm_prepacked`] /
+//! [`gemm_panels_a`] consume it without repacking. Because packing
+//! copies operand bits verbatim (rule 3 above), a GEMM over cached
+//! panels reads the same bits as one that packs fresh — reuse can never
+//! change rounding. The graph layer caches panels per tape node (see
+//! `Graph`), and conv2d's fused im2col writes its column matrix
+//! directly in this layout (via the crate-internal
+//! `PackedPanels::from_parts`) so the column tensor is never
+//! materialized unpacked.
 
 use std::mem::MaybeUninit;
 
@@ -124,6 +138,91 @@ fn mat_ref(t: &Tensor, trans: Trans) -> MatRef<'_> {
     MatRef { data: t.data(), ld, trans }
 }
 
+/// An `A`-operand source for the blocked kernel: either a strided view
+/// of a tensor or a previously packed panel set read back element-wise.
+#[derive(Clone, Copy)]
+enum ASource<'a> {
+    Mat(MatRef<'a>),
+    Panels(&'a PackedPanels),
+}
+
+impl ASource<'_> {
+    #[inline]
+    fn get(&self, r: usize, c: usize) -> f32 {
+        match self {
+            ASource::Mat(m) => m.get(r, c),
+            ASource::Panels(p) => p.get(r, c),
+        }
+    }
+}
+
+/// An owned `B`-side packing of a logical `k × m` matrix in the blocked
+/// kernel's panel-major layout (see [`pack_b` layout][Self::pack]).
+///
+/// Packing copies operand bits verbatim, so a GEMM consuming a cached
+/// `PackedPanels` ([`gemm_prepacked`], [`gemm_panels_a`]) multiplies
+/// exactly the same bits as one that packs the operand fresh — caching
+/// and reuse can never change rounding (enforced by
+/// `crates/tensor/tests/gemm_equivalence.rs`).
+#[derive(Debug, Clone)]
+pub struct PackedPanels {
+    buf: Vec<f32>,
+    k: usize,
+    m: usize,
+}
+
+impl PackedPanels {
+    /// Packs `op_b(b)` — a logical `k × m` matrix — into panel-major
+    /// layout: for each `k`-panel (ascending), for each `NR`-column
+    /// panel (ascending), a contiguous `kc × NR` block stored `p`-major.
+    /// This is byte-for-byte the packing the blocked kernel performs
+    /// internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `b` is not rank-2.
+    pub fn pack(op: &'static str, b: &Tensor, trans: Trans) -> Result<Self> {
+        let (k, m) = logical_dims(op, b, trans)?;
+        let _t = sdc_obs::scope!("tensor.gemm.pack_b");
+        Ok(Self { buf: pack_b(mat_ref(b, trans), k, m), k, m })
+    }
+
+    /// Wraps an externally written buffer that is already in the
+    /// [`pack_b`-layout][Self::pack] for a logical `k × m` matrix. Used
+    /// by conv2d's fused im2col, which computes per-element packed
+    /// offsets and writes column panels directly.
+    pub(crate) fn from_parts(buf: Vec<f32>, k: usize, m: usize) -> Self {
+        debug_assert_eq!(buf.len(), k * col_panels(m) * NR);
+        Self { buf, k, m }
+    }
+
+    /// Logical row count (the GEMM reduction depth when used as `B`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Logical column count.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Heap footprint of the packed buffer, for cache budgeting.
+    pub fn bytes(&self) -> usize {
+        self.buf.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Random access to logical element `(p, j)` — the inverse of the
+    /// panel layout, used when the panels serve as the `A` operand of a
+    /// transposed-product GEMM.
+    #[inline]
+    fn get(&self, p: usize, j: usize) -> f32 {
+        let kp0 = p - p % KC;
+        let kc = KC.min(self.k - kp0);
+        let jpanels = col_panels(self.m);
+        self.buf[b_panel_offset(kp0, kc, j / NR, jpanels) + (p - kp0) * NR + j % NR]
+    }
+}
+
 /// Validates both operands and returns the logical problem dimensions
 /// `(n, k, m)` — the one shape check shared by every entry point.
 fn validate(
@@ -191,6 +290,64 @@ pub fn blocked(a: &Tensor, trans_a: Trans, b: &Tensor, trans_b: Trans) -> Result
 pub fn naive(a: &Tensor, trans_a: Trans, b: &Tensor, trans_b: Trans) -> Result<Tensor> {
     let (n, k, m) = validate("gemm_naive", a, trans_a, b, trans_b)?;
     Ok(naive_unchecked(a, trans_a, b, trans_b, n, k, m))
+}
+
+/// `C = op_a(A) · B` where `B` was packed up front (or cached from an
+/// earlier call) — the blocked kernel minus its `pack_b` pass. Always
+/// takes the blocked path; bit-identical to [`gemm`] on the same
+/// logical operands, since the panels hold the same operand bits the
+/// kernel would have packed itself.
+///
+/// # Errors
+///
+/// Returns an error if `a` is not rank-2 or its logical column count
+/// differs from the panels' `k`.
+pub fn gemm_prepacked(
+    op: &'static str,
+    a: &Tensor,
+    trans_a: Trans,
+    b: &PackedPanels,
+) -> Result<Tensor> {
+    let (n, k) = logical_dims(op, a, trans_a)?;
+    if k != b.k {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.shape().clone(),
+            rhs: [b.k, b.m].into(),
+        });
+    }
+    Ok(blocked_core(ASource::Mat(mat_ref(a, trans_a)), &b.buf, n, k, b.m))
+}
+
+/// `C = P · op_b(B)` where the `A` operand is the logical `k × m`
+/// matrix a [`PackedPanels`] encodes (read back element-wise through
+/// the panel layout). Conv2d backward uses this to compute `dWᵀ`
+/// straight from the cached column panels, so the column matrix is
+/// never re-unfolded. `B` is packed internally as usual.
+///
+/// # Errors
+///
+/// Returns an error if `b` is not rank-2 or its logical row count
+/// differs from the panels' column count.
+pub fn gemm_panels_a(
+    op: &'static str,
+    a: &PackedPanels,
+    b: &Tensor,
+    trans_b: Trans,
+) -> Result<Tensor> {
+    let (kb, m) = logical_dims(op, b, trans_b)?;
+    if a.m != kb {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: [a.k, a.m].into(),
+            rhs: b.shape().clone(),
+        });
+    }
+    let packed_b = {
+        let _t = sdc_obs::scope!("tensor.gemm.pack_b");
+        pack_b(mat_ref(b, trans_b), kb, m)
+    };
+    Ok(blocked_core(ASource::Panels(a), &packed_b, a.k, kb, m))
 }
 
 // ---------------------------------------------------------------------
@@ -285,6 +442,17 @@ fn blocked_unchecked(
     k: usize,
     m: usize,
 ) -> Tensor {
+    let bref = mat_ref(b, trans_b);
+    let packed_b = {
+        let _t = sdc_obs::scope!("tensor.gemm.pack_b");
+        pack_b(bref, k, m)
+    };
+    blocked_core(ASource::Mat(mat_ref(a, trans_a)), &packed_b, n, k, m)
+}
+
+/// The blocked kernel over an already-packed `B`: the shared tail of
+/// [`blocked_unchecked`], [`gemm_prepacked`] and [`gemm_panels_a`].
+fn blocked_core(aref: ASource<'_>, packed_b: &[f32], n: usize, k: usize, m: usize) -> Tensor {
     // Output starts uninitialized: when `k > 0` the first k-panel
     // stores into every element of its chunk before anything reads it,
     // and when `k == 0` the chunk fill zero-fills (see fill_chunk). The
@@ -295,16 +463,9 @@ fn blocked_unchecked(
     unsafe { data.set_len(n * m) };
 
     let _gemm_timer = sdc_obs::scope!("tensor.gemm");
-    let aref = mat_ref(a, trans_a);
-    let bref = mat_ref(b, trans_b);
-    let packed_b = {
-        let _t = sdc_obs::scope!("tensor.gemm.pack_b");
-        pack_b(bref, k, m)
-    };
-
     par::dispatch_chunks(&mut data, MC * m, n * k * m, |chunk_index, rows| {
         let _t = sdc_obs::scope!("tensor.gemm.kernel");
-        fill_chunk(chunk_index * MC, rows, m, k, aref, &packed_b);
+        fill_chunk(chunk_index * MC, rows, m, k, aref, packed_b);
     });
 
     // SAFETY: every element was written by exactly one chunk (zero-fill
@@ -319,7 +480,7 @@ fn blocked_unchecked(
 
 /// Number of `NR`-wide column panels covering `m` columns.
 #[inline]
-fn col_panels(m: usize) -> usize {
+pub(crate) fn col_panels(m: usize) -> usize {
     m.div_ceil(NR)
 }
 
@@ -356,7 +517,7 @@ fn pack_b(b: MatRef<'_>, k: usize, m: usize) -> Vec<f32> {
 /// buffer, where `kp` starts at logical row `p0` and all earlier
 /// `k`-panels are full [`KC`] deep.
 #[inline]
-fn b_panel_offset(p0: usize, kc: usize, jp: usize, jpanels: usize) -> usize {
+pub(crate) fn b_panel_offset(p0: usize, kc: usize, jp: usize, jpanels: usize) -> usize {
     debug_assert!(p0.is_multiple_of(KC));
     (p0 * jpanels + jp * kc) * NR
 }
@@ -365,7 +526,7 @@ fn b_panel_offset(p0: usize, kc: usize, jp: usize, jpanels: usize) -> usize {
 /// `p0..p0+kc`) into `MR`-row panel-major layout:
 /// `dst[tile · MR · kc + p · MR + r] = A[i0 + tile·MR + r, p0 + p]`.
 /// Rows past `mc` pad with zeros (their lanes are discarded on store).
-fn pack_a(dst: &mut Vec<f32>, a: MatRef<'_>, i0: usize, mc: usize, p0: usize, kc: usize) {
+fn pack_a(dst: &mut Vec<f32>, a: ASource<'_>, i0: usize, mc: usize, p0: usize, kc: usize) {
     let tiles = mc.div_ceil(MR);
     dst.clear();
     dst.resize(tiles * MR * kc, 0.0);
@@ -445,7 +606,7 @@ fn fill_chunk(
     rows: &mut [MaybeUninit<f32>],
     m: usize,
     k: usize,
-    a: MatRef<'_>,
+    a: ASource<'_>,
     packed_b: &[f32],
 ) {
     let mc = rows.len() / m;
@@ -623,5 +784,64 @@ mod tests {
         assert!(naive(&a, Trans::N, &b, Trans::N).is_err());
         let scalar = Tensor::scalar(1.0);
         assert!(gemm("t", &scalar, Trans::N, &b, Trans::N).is_err());
+    }
+
+    #[test]
+    fn prepacked_matches_naive_on_tile_boundaries() {
+        for &(n, k, m) in &[(MR + 1, KC + 1, NR + 1), (MC, KC, 2 * NR + 3), (1, 1, 1), (3, 2, 5)] {
+            let a = rand_t([n, k], (n + k) as u64);
+            let b = rand_t([k, m], (m + k) as u64);
+            let pb = PackedPanels::pack("t", &b, Trans::N).unwrap();
+            assert_eq!((pb.k(), pb.m()), (k, m));
+            assert_bits_eq(
+                &gemm_prepacked("t", &a, Trans::N, &pb).unwrap(),
+                &naive(&a, Trans::N, &b, Trans::N).unwrap(),
+            );
+            let bt = rand_t([m, k], (m * 7 + k) as u64);
+            let pbt = PackedPanels::pack("t", &bt, Trans::T).unwrap();
+            assert_bits_eq(
+                &gemm_prepacked("t", &a, Trans::N, &pbt).unwrap(),
+                &naive(&a, Trans::N, &bt, Trans::T).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn panels_as_a_operand_match_naive() {
+        // C = P · B where P encodes a logical (n, k) matrix — compare
+        // against the naive product of the unpacked operands, across
+        // KC/NR panel edges.
+        for &(n, k, m) in &[(KC + 3, 2 * NR + 1, 5), (MR, NR, NR), (MC + 1, KC, 3)] {
+            let a = rand_t([n, k], (n * 3 + m) as u64);
+            let b = rand_t([k, m], (k * 5 + m) as u64);
+            let pa = PackedPanels::pack("t", &a, Trans::N).unwrap();
+            assert_bits_eq(
+                &gemm_panels_a("t", &pa, &b, Trans::N).unwrap(),
+                &naive(&a, Trans::N, &b, Trans::N).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn panel_random_access_reads_back_the_operand() {
+        let b = rand_t([KC + 5, 2 * NR + 3], 21);
+        let pb = PackedPanels::pack("t", &b, Trans::N).unwrap();
+        for p in [0, 1, KC - 1, KC, KC + 4] {
+            for j in [0, NR - 1, NR, 2 * NR + 2] {
+                assert_eq!(pb.get(p, j).to_bits(), b.data()[p * (2 * NR + 3) + j].to_bits());
+            }
+        }
+        assert_eq!(pb.bytes(), pb.buf.len() * 4);
+    }
+
+    #[test]
+    fn prepacked_shape_errors_are_reported() {
+        let b = rand_t([4, 6], 1);
+        let pb = PackedPanels::pack("t", &b, Trans::N).unwrap();
+        let bad_a = rand_t([2, 5], 2);
+        assert!(gemm_prepacked("t", &bad_a, Trans::N, &pb).is_err());
+        let bad_b = rand_t([5, 2], 3);
+        assert!(gemm_panels_a("t", &pb, &bad_b, Trans::N).is_err());
+        assert!(PackedPanels::pack("t", &Tensor::scalar(1.0), Trans::N).is_err());
     }
 }

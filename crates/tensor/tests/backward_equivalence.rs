@@ -5,7 +5,12 @@
 //! diamond tapes (shared subexpressions feeding consumers at different
 //! wavefront levels), wide fan-out onto one gradient slot, conv/bn
 //! pipelines, `take_grad` mid-use, and re-swept tapes (the
-//! double-backward stale-gradient regression).
+//! double-backward stale-gradient regression). Panel-cache coverage
+//! rides the same harness: re-sweeps that hit the cached operand packs,
+//! cap-forced eviction, conv shapes straddling `KC`/`NR` panel edges,
+//! and the `forward`/`forward_serial` replay pair (values must
+//! reproduce the recorded tape — or a freshly recorded one after
+//! `refresh_leaf` — bitwise).
 //!
 //! CI runs this suite under `SDC_THREADS=7` like the gemm suite; the
 //! explicit `Runtime::install` scopes below make the thread counts
@@ -266,6 +271,169 @@ fn serial_then_scheduled_resweep_matches() {
         g.backward(loss_again).unwrap();
     });
     assert_same_grads(&g, &reference, &ids, "serial-then-scheduled");
+}
+
+/// Re-swept tapes with operand-panel caching active: the second and
+/// third sweeps hit the per-node panel cache (the first sweep packed
+/// the operands), and must reproduce the serial reference bitwise.
+/// With the cache cap forced to zero every insert is declined — the
+/// eviction path — and results must still not move by a bit.
+#[test]
+fn panel_cache_hits_and_eviction_leave_gradients_bitwise_unchanged() {
+    let mut reference = Graph::new();
+    let (loss, ids) = tower_pair(&mut reference);
+    Runtime::new(1).install(|| reference.backward_serial(loss).unwrap());
+    for threads in THREADS {
+        let mut g = Graph::new();
+        let (loss_again, _) = tower_pair(&mut g);
+        Runtime::new(threads).install(|| {
+            for _ in 0..3 {
+                g.backward(loss_again).unwrap();
+            }
+        });
+        assert_same_grads(&g, &reference, &ids, &format!("cached resweep threads={threads}"));
+
+        let mut g0 = Graph::new();
+        let (loss_capped, _) = tower_pair(&mut g0);
+        g0.set_panel_cache_cap(0);
+        Runtime::new(threads).install(|| {
+            for _ in 0..2 {
+                g0.backward(loss_capped).unwrap();
+            }
+        });
+        assert_same_grads(&g0, &reference, &ids, &format!("cap-0 resweep threads={threads}"));
+    }
+}
+
+/// A conv whose patch dimension (29·3·3 = 261) straddles the `KC = 256`
+/// panel edge and whose column count (2·5·5 = 50) is not a multiple of
+/// `NR`, with padding — the fused im2col writer's hardest alignment
+/// case, and large enough for the column panels to be cached.
+fn conv_panel_straddle(g: &mut Graph) -> (VarId, Vec<VarId>) {
+    let x = g.leaf(rand_t([2 * 29 * 5 * 5], 61).reshape([2, 29, 5, 5]).unwrap());
+    let w = g.leaf(rand_t([4 * 29 * 3 * 3], 62).reshape([4, 29, 3, 3]).unwrap());
+    let b = g.leaf(rand_t([4], 63));
+    let c = g.conv2d(x, w, Some(b), 1, 1).unwrap();
+    let r = g.relu(c);
+    let loss = g.mean_all(r);
+    (loss, vec![x, w, b, c, r, loss])
+}
+
+#[test]
+fn conv_shapes_straddling_panel_boundaries_match_serial_bitwise() {
+    check_scheduler_vs_serial(conv_panel_straddle, "conv_panel_straddle");
+
+    // Re-swept: backward reuses the retained column panels (cache
+    // hits); with the cap at zero it re-unfolds every sweep. Both must
+    // equal the serial reference bitwise.
+    let mut reference = Graph::new();
+    let (loss, ids) = conv_panel_straddle(&mut reference);
+    Runtime::new(1).install(|| reference.backward_serial(loss).unwrap());
+    for threads in THREADS {
+        let mut g = Graph::new();
+        let (loss_again, _) = conv_panel_straddle(&mut g);
+        Runtime::new(threads).install(|| {
+            g.backward(loss_again).unwrap();
+            g.backward(loss_again).unwrap();
+        });
+        assert_same_grads(&g, &reference, &ids, &format!("conv cached threads={threads}"));
+
+        let mut g0 = Graph::new();
+        let (loss_capped, _) = conv_panel_straddle(&mut g0);
+        g0.set_panel_cache_cap(0);
+        Runtime::new(threads).install(|| {
+            g0.backward(loss_capped).unwrap();
+            g0.backward(loss_capped).unwrap();
+        });
+        assert_same_grads(&g0, &reference, &ids, &format!("conv cap-0 threads={threads}"));
+    }
+}
+
+/// With unchanged leaves, the forward replay — level-overlapped or
+/// serial, warm or cold panel caches — must reproduce every recorded
+/// value bitwise, at every thread count.
+#[test]
+fn forward_replay_reproduces_recorded_values_bitwise() {
+    type Builder = fn(&mut Graph) -> (VarId, Vec<VarId>);
+    let builders: [(Builder, &str); 3] = [
+        (tower_pair, "tower_pair"),
+        (conv_and_misc_ops, "conv_and_misc_ops"),
+        (conv_panel_straddle, "conv_panel_straddle"),
+    ];
+    for (build, name) in builders {
+        for threads in THREADS {
+            for serial in [false, true] {
+                let mut g = Graph::new();
+                let (loss, ids) = build(&mut g);
+                let recorded: Vec<Tensor> = ids.iter().map(|&id| g.value(id).clone()).collect();
+                Runtime::new(threads).install(|| {
+                    g.backward(loss).unwrap(); // warm the panel caches
+                    if serial {
+                        g.forward_serial(loss).unwrap();
+                    } else {
+                        g.forward(loss).unwrap();
+                    }
+                });
+                for (k, (&id, want)) in ids.iter().zip(&recorded).enumerate() {
+                    let ctx = format!("{name} replay serial={serial} threads={threads} node {k}");
+                    assert_bits_eq(g.value(id), want, &ctx);
+                }
+            }
+        }
+    }
+}
+
+/// Refreshing a leaf and replaying must equal recording a fresh tape
+/// against the new value — bitwise, for values *and* for the gradients
+/// of a subsequent backward — whether the replay is level-overlapped
+/// or serial, at every thread count.
+#[test]
+fn forward_after_leaf_refresh_matches_a_freshly_recorded_tape() {
+    let build = |g: &mut Graph, x0: &Tensor| {
+        let x = g.leaf(x0.clone());
+        let w1 = g.leaf(rand_t([128, 128], 301));
+        let w2 = g.leaf(rand_t([128, 128], 302));
+        let h = g.matmul(x, w1).unwrap();
+        let r = g.relu(h);
+        let p = g.matmul(r, w2).unwrap();
+        let z = g.l2_normalize_rows(p).unwrap();
+        let loss = g.mean_all(z);
+        (x, loss, vec![x, w1, w2, h, r, p, z, loss])
+    };
+    let x_old = rand_t([64, 128], 300);
+    let x_new = rand_t([64, 128], 999);
+
+    // Reference: a tape recorded directly against the new value.
+    let mut fresh = Graph::new();
+    let (_, fresh_loss, fresh_ids) = build(&mut fresh, &x_new);
+    Runtime::new(1).install(|| fresh.backward_serial(fresh_loss).unwrap());
+
+    for threads in THREADS {
+        for serial in [false, true] {
+            let mut g = Graph::new();
+            let (x, loss, ids) = build(&mut g, &x_old);
+            Runtime::new(threads).install(|| {
+                g.backward(loss).unwrap(); // warm the panel caches on the old values
+                g.refresh_leaf(x, x_new.clone()).unwrap();
+                if serial {
+                    g.forward_serial(loss).unwrap();
+                } else {
+                    g.forward(loss).unwrap();
+                }
+            });
+            for (k, (&id, &fid)) in ids.iter().zip(&fresh_ids).enumerate() {
+                let ctx = format!("refresh serial={serial} threads={threads} node {k}");
+                assert_bits_eq(g.value(id), fresh.value(fid), &ctx);
+            }
+            Runtime::new(threads).install(|| g.backward(loss).unwrap());
+            assert_same_grads(
+                &g,
+                &fresh,
+                &ids,
+                &format!("refresh grads serial={serial} threads={threads}"),
+            );
+        }
+    }
 }
 
 /// A tiny deterministic PRNG for the proptest DAG builder (avoids

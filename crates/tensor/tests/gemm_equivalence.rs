@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 use sdc_runtime::Runtime;
-use sdc_tensor::ops::gemm::{self, Trans, KC, MC, MR, NR};
+use sdc_tensor::ops::gemm::{self, PackedPanels, Trans, KC, MC, MR, NR};
 use sdc_tensor::ops::matmul::{matmul, matmul_nt, matmul_tn, transpose};
 use sdc_tensor::Tensor;
 
@@ -113,6 +113,59 @@ fn nonfinite_operands_match_the_naive_kernels() {
     check_blocked_vs_naive(&a, Trans::N, &b, Trans::N, "nonfinite nn");
     let bt = rand_t([NR + 1, KC + 1], 33);
     check_blocked_vs_naive(&a, Trans::N, &bt, Trans::T, "nonfinite nt");
+}
+
+#[test]
+fn prepacked_reuse_is_bitwise_stable_across_calls_and_threads() {
+    // The panel-cache hit path: a `PackedPanels` built once and consumed
+    // repeatedly must give results bitwise-identical to the naive
+    // reference on every call, at every thread count, for both operand
+    // orientations and across KC/NR panel edges.
+    for &(n, k, m) in &[(MR + 1, KC + 1, NR + 1), (MC, KC, 2 * NR + 3), (3, 2, 5)] {
+        let seed = (n * 1000 + m * 100 + k) as u64;
+        let a = rand_t([n, k], seed);
+        let b = rand_t([k, m], seed + 1);
+        let bt = rand_t([m, k], seed + 2);
+        let want_nn = Runtime::new(1).install(|| gemm::naive(&a, Trans::N, &b, Trans::N).unwrap());
+        let want_nt = Runtime::new(1).install(|| gemm::naive(&a, Trans::N, &bt, Trans::T).unwrap());
+        let pb = PackedPanels::pack("test", &b, Trans::N).unwrap();
+        let pbt = PackedPanels::pack("test", &bt, Trans::T).unwrap();
+        for threads in THREADS {
+            Runtime::new(threads).install(|| {
+                for call in 0..2 {
+                    let ctx = format!("prepacked {n}x{k}x{m} threads={threads} call={call}");
+                    let got = gemm::gemm_prepacked("test", &a, Trans::N, &pb).unwrap();
+                    assert_bits_eq(&got, &want_nn, &format!("{ctx} nn"));
+                    let got_t = gemm::gemm_prepacked("test", &a, Trans::N, &pbt).unwrap();
+                    assert_bits_eq(&got_t, &want_nt, &format!("{ctx} nt"));
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn panels_as_a_operand_reuse_matches_naive_at_every_thread_count() {
+    // The conv2d-backward path: the cached column panels serve as the
+    // *A* operand (`dWᵀ = colsᵀ · g`), read back element-wise through
+    // the panel layout. Reuse across calls must stay bitwise equal to
+    // the naive product of the unpacked operands.
+    for &(n, k, m) in &[(KC + 3, 2 * NR + 1, 5), (MR, NR, NR), (MC + 1, KC, 3)] {
+        let seed = (n * 777 + m * 13 + k) as u64;
+        let a = rand_t([n, k], seed);
+        let b = rand_t([k, m], seed + 1);
+        let want = Runtime::new(1).install(|| gemm::naive(&a, Trans::N, &b, Trans::N).unwrap());
+        let pa = PackedPanels::pack("test", &a, Trans::N).unwrap();
+        for threads in THREADS {
+            Runtime::new(threads).install(|| {
+                for call in 0..2 {
+                    let got = gemm::gemm_panels_a("test", &pa, &b, Trans::N).unwrap();
+                    let ctx = format!("panels_a {n}x{k}x{m} threads={threads} call={call}");
+                    assert_bits_eq(&got, &want, &ctx);
+                }
+            });
+        }
+    }
 }
 
 proptest! {
