@@ -1,0 +1,59 @@
+//! Review probe: backward between refresh_leaf and forward replay.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdc_runtime::Runtime;
+use sdc_tensor::{Graph, Tensor};
+
+fn rand_t(shape: [usize; 2], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::randn(shape, 1.0, &mut rng)
+}
+
+#[test]
+fn backward_between_refresh_and_replay_then_backward_again() {
+    let build = |g: &mut Graph, x0: &Tensor| {
+        let x = g.leaf(x0.clone());
+        let w = g.leaf(rand_t([64, 64], 7));
+        let m = g.matmul(x, w).unwrap();
+        let sq = g.mul(m, m).unwrap();
+        let loss = g.sum_all(sq);
+        (x, w, loss)
+    };
+    let x_old = rand_t([64, 64], 1);
+    let x_new = rand_t([64, 64], 2);
+
+    // Reference: refresh -> forward -> backward (the documented order).
+    let mut a = Graph::new();
+    let (xa, wa, la) = build(&mut a, &x_old);
+    Runtime::new(1).install(|| {
+        a.backward(la).unwrap();
+        a.refresh_leaf(xa, x_new.clone()).unwrap();
+        a.forward(la).unwrap();
+        a.backward(la).unwrap();
+    });
+
+    // Probe: an extra backward sneaks in between refresh and forward.
+    let mut b = Graph::new();
+    let (xb, wb, lb) = build(&mut b, &x_old);
+    Runtime::new(1).install(|| {
+        b.backward(lb).unwrap();
+        b.refresh_leaf(xb, x_new.clone()).unwrap();
+        b.backward(lb).unwrap(); // stale-value sweep, packs g under the new epoch
+        b.forward(lb).unwrap();
+        b.backward(lb).unwrap();
+    });
+
+    let ga = a.grad(wa).unwrap().data();
+    let gb = b.grad(wb).unwrap().data();
+    let mut bad = 0;
+    for (i, (x, y)) in ga.iter().zip(gb).enumerate() {
+        if x.to_bits() != y.to_bits() {
+            if bad < 3 {
+                eprintln!("w-grad mismatch at {i}: {x} vs {y}");
+            }
+            bad += 1;
+        }
+    }
+    assert_eq!(bad, 0, "{bad} mismatched w-grad elements");
+}
