@@ -10,6 +10,16 @@
 //! snapshot as a section delta (`sdc_persist::encode_delta`), so
 //! unchanged sections — shards that took no replacements, idle stream
 //! cursors — cross the wire as a 4-byte CRC instead of their payload.
+//!
+//! ## Tracing
+//!
+//! While tracing is enabled (`SDC_TRACE`), every scoring submission
+//! opens a `node.client.request` root span and ships its
+//! [`TraceContext`](sdc_obs::TraceContext) in the frame's trace
+//! extension, so the server's span and the replica batcher's phase
+//! spans all become descendants of this client-side span — one trace
+//! across the TCP boundary. The span closes when the reply arrives
+//! (the ticket carries it), so its duration is the remote round trip.
 
 use std::collections::BTreeMap;
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -23,7 +33,9 @@ use sdc_runtime::channel::{bounded, Receiver, Sender};
 use sdc_serve::{NodeSnapshot, ShedCause};
 
 use crate::error::NodeError;
-use crate::wire::{decode_reply, encode_request, read_frame, write_frame, Reply, Request, Ship};
+use crate::wire::{
+    decode_reply, encode_request, read_frame, write_frame_ext, Reply, Request, Ship,
+};
 
 /// The remote counterpart of
 /// [`ScoreOutcome`](sdc_serve::ScoreOutcome): scores, or the typed
@@ -38,10 +50,14 @@ pub enum RemoteOutcome {
 }
 
 /// An in-flight remote request. Dropping the ticket abandons the reply
-/// (the reader thread discards it on arrival).
+/// (the reader thread discards it on arrival) and closes the request's
+/// client-side span, if tracing opened one.
 #[derive(Debug)]
 pub struct RemoteTicket {
     rx: Receiver<Reply>,
+    /// The `node.client.request` span: held so it spans submit →
+    /// reply; recorded when the ticket resolves (or is abandoned).
+    _span: Option<sdc_obs::Span>,
 }
 
 impl RemoteTicket {
@@ -56,9 +72,9 @@ impl RemoteTicket {
             Reply::Scored { scores, .. } => Ok(RemoteOutcome::Scored(scores)),
             Reply::Shed { cause, .. } => Ok(RemoteOutcome::Shed(cause)),
             Reply::Error { message, .. } => Err(NodeError::Remote { message }),
-            Reply::ShipApplied { .. } => {
-                Err(NodeError::Remote { message: "ship reply answered a score request".into() })
-            }
+            Reply::ShipApplied { .. } | Reply::Stats { .. } => Err(NodeError::Remote {
+                message: "non-score reply answered a score request".into(),
+            }),
         }
     }
 
@@ -143,8 +159,18 @@ impl NodeClient {
 
     fn submit_request(
         &self,
+        traced: bool,
         build: impl FnOnce(u64) -> Request,
     ) -> Result<RemoteTicket, NodeError> {
+        // Scoring requests root a client-side span and ship its
+        // context in the frame's trace extension; control requests
+        // (ships, stats scrapes) stay revision-1 frames. The span is
+        // inert (and the frame unflagged) while tracing is off.
+        let span = if traced {
+            sdc_obs::Span::root("node.client.request")
+        } else {
+            sdc_obs::Span::inert()
+        };
         // Sequence numbers start at 1: the server reserves 0 for
         // frame-level errors that precede any request parse.
         let seq = self.next_seq.fetch_add(1, Ordering::SeqCst) + 1;
@@ -153,13 +179,13 @@ impl NodeClient {
         let payload = encode_request(&build(seq));
         let result = {
             let mut w = self.writer.lock().expect("writer lock");
-            write_frame(&mut *w, &payload)
+            write_frame_ext(&mut *w, &payload, span.context())
         };
         if let Err(e) = result {
             self.pending.lock().expect("pending lock").remove(&seq);
             return Err(e);
         }
-        Ok(RemoteTicket { rx })
+        Ok(RemoteTicket { rx, _span: Some(span) })
     }
 
     /// Submits a **guaranteed** scoring request without waiting for the
@@ -173,7 +199,7 @@ impl NodeClient {
         stream: StreamId,
         samples: Vec<Sample>,
     ) -> Result<RemoteTicket, NodeError> {
-        self.submit_request(|seq| Request::Score { seq, stream, droppable: false, samples })
+        self.submit_request(true, |seq| Request::Score { seq, stream, droppable: false, samples })
     }
 
     /// Submits a **droppable** scoring request: the server may answer
@@ -188,7 +214,7 @@ impl NodeClient {
         stream: StreamId,
         samples: Vec<Sample>,
     ) -> Result<RemoteTicket, NodeError> {
-        self.submit_request(|seq| Request::Score { seq, stream, droppable: true, samples })
+        self.submit_request(true, |seq| Request::Score { seq, stream, droppable: true, samples })
     }
 
     /// Scores `samples` for `stream`, blocking for the reply.
@@ -212,11 +238,28 @@ impl NodeClient {
     /// Propagates connection failures; server-side rejections (corrupt
     /// container, base drift) surface as [`NodeError::Remote`].
     pub fn ship(&self, ship: Ship) -> Result<u64, NodeError> {
-        let ticket = self.submit_request(|seq| Request::Ship { seq, ship })?;
+        let ticket = self.submit_request(false, |seq| Request::Ship { seq, ship })?;
         match ticket.rx.recv().map_err(|_| NodeError::Disconnected)? {
             Reply::ShipApplied { sections, .. } => Ok(sections),
             Reply::Error { message, .. } => Err(NodeError::Remote { message }),
             _ => Err(NodeError::Remote { message: "score reply answered a ship request".into() }),
+        }
+    }
+
+    /// Scrapes the server's live stats: one JSON object holding the
+    /// node's process-global metrics snapshot (`"metrics"`) and every
+    /// replica's per-stream latency breakdown (`"replicas"`), read
+    /// without quiescing the batchers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures and typed server-side errors.
+    pub fn stats(&self) -> Result<String, NodeError> {
+        let ticket = self.submit_request(false, |seq| Request::Stats { seq })?;
+        match ticket.rx.recv().map_err(|_| NodeError::Disconnected)? {
+            Reply::Stats { json, .. } => Ok(json),
+            Reply::Error { message, .. } => Err(NodeError::Remote { message }),
+            _ => Err(NodeError::Remote { message: "score reply answered a stats request".into() }),
         }
     }
 }

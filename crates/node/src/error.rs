@@ -36,6 +36,14 @@ pub enum NodeError {
         /// The declared payload length.
         declared: u64,
     },
+    /// The frame's flag bits include one this node does not understand
+    /// (only the trace-context flag is defined). Rejected before the
+    /// payload is read — a peer speaking a newer protocol revision must
+    /// not be half-parsed.
+    UnknownFlags {
+        /// The offending flag nibble (header bits 28–31).
+        flags: u32,
+    },
     /// The frame payload's CRC-32 does not match: bytes were corrupted
     /// in flight.
     ChecksumMismatch,
@@ -64,6 +72,9 @@ impl std::fmt::Display for NodeError {
             Self::Truncated { context } => write!(f, "connection ended while reading {context}"),
             Self::Oversized { declared } => {
                 write!(f, "frame declares {declared} payload bytes, over the frame bound")
+            }
+            Self::UnknownFlags { flags } => {
+                write!(f, "frame carries unknown flag bits {flags:#x}")
             }
             Self::ChecksumMismatch => write!(f, "frame checksum mismatch: payload is corrupt"),
             Self::Malformed(e) => write!(f, "malformed message in a valid frame: {e}"),
@@ -107,6 +118,7 @@ mod tests {
         assert!(format!("{}", NodeError::BadMagic).contains("magic"));
         assert!(format!("{}", NodeError::ChecksumMismatch).contains("checksum"));
         assert!(format!("{}", NodeError::Oversized { declared: 99 }).contains("99"));
+        assert!(format!("{}", NodeError::UnknownFlags { flags: 0x4 }).contains("0x4"));
         assert!(format!("{}", NodeError::Truncated { context: "frame header" })
             .contains("frame header"));
         assert!(format!("{}", NodeError::Remote { message: "boom".into() }).contains("boom"));

@@ -25,6 +25,19 @@
 //!   rebuilds from its store and continues **bit-identically**
 //!   (`tests/failover_resume.rs`).
 //!
+//! ## Observability
+//!
+//! While tracing is enabled (`SDC_TRACE`), scoring frames carry a
+//! 16-byte trace-context extension
+//! ([`wire::write_frame_ext`]), so one trace connects the
+//! [`NodeClient`]'s request span, the server's handler span, and the
+//! replica batcher's phase spans across the TCP boundary — export it
+//! with `sdc_obs::chrome_trace_json`. [`NodeClient::stats`] scrapes
+//! the server's live metrics snapshot and per-stream latency
+//! breakdown over the wire (a `Stats` request) without quiescing
+//! anything. The node's own metrics live under the `node.*`
+//! namespaces documented in `sdc_obs`.
+//!
 //! ## Determinism contract
 //!
 //! Remote scoring returns exactly the bytes in-process scoring would:

@@ -18,11 +18,25 @@
 //!
 //! ## Failure injection contract
 //!
-//! A framing violation (bad magic, oversized length, CRC mismatch,
-//! mid-frame truncation, malformed message) tears down **that
-//! connection only**: the server answers with a best-effort typed
-//! [`Reply::Error`], shuts the socket down, and keeps serving every
-//! other client — `tests/wire_fuzz.rs` is the enforcement.
+//! A framing violation (bad magic, oversized length, unknown flag
+//! bits, CRC mismatch, mid-frame truncation, malformed message) tears
+//! down **that connection only**: the server answers with a
+//! best-effort typed [`Reply::Error`], shuts the socket down, and
+//! keeps serving every other client — `tests/wire_fuzz.rs` is the
+//! enforcement.
+//!
+//! ## Observability
+//!
+//! The handler reads frames through
+//! [`read_frame_ext`](crate::wire::read_frame_ext), so a traced peer's
+//! [`TraceContext`] crosses the wire: each scoring request gets a
+//! `node.server.request` span parented to the remote client's span,
+//! and the replica batcher's phase spans nest under it — one connected
+//! trace across the TCP boundary. A [`Request::Stats`] frame is
+//! answered inline with the live process-global
+//! [`MetricsSnapshot`](sdc_obs::MetricsSnapshot) plus every replica's
+//! per-stream latency breakdown as one JSON object — a scrape
+//! endpoint that never quiesces the batchers.
 //!
 //! [`ScoreTicket`]: sdc_serve::ScoreTicket
 
@@ -33,12 +47,15 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use sdc_data::StreamId;
+use sdc_obs::TraceContext;
 use sdc_persist::{apply_delta, Snapshot};
 use sdc_runtime::channel::{bounded, Sender};
 use sdc_serve::{NodeSnapshot, ReplicaSet, ScoreOutcome, ScoringClient, SubmitOutcome};
 
 use crate::error::NodeError;
-use crate::wire::{decode_request, encode_reply, read_frame, write_frame, Reply, Request, Ship};
+use crate::wire::{
+    decode_request, encode_reply, read_frame_ext, write_frame, Reply, Request, Ship,
+};
 
 /// What the standby store holds after a ship: the last verified
 /// snapshot plus the opaque application state shipped alongside it
@@ -225,13 +242,13 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
 
     let mut clients: BTreeMap<StreamId, ScoringClient> = BTreeMap::new();
     let outcome: Result<(), NodeError> = loop {
-        match read_frame(&mut reader) {
+        match read_frame_ext(&mut reader) {
             Ok(None) => break Ok(()),
-            Ok(Some(payload)) => {
+            Ok(Some((payload, trace))) => {
                 sdc_obs::counter!("node.frame.rx").inc();
                 match decode_request(&payload) {
                     Ok(request) => {
-                        if handle_request(shared, &mut clients, &tx, request).is_err() {
+                        if handle_request(shared, &mut clients, &tx, request, trace).is_err() {
                             break Ok(()); // pump gone; nothing left to answer through
                         }
                     }
@@ -260,13 +277,23 @@ fn handle_request(
     clients: &mut BTreeMap<StreamId, ScoringClient>,
     tx: &Sender<Pending>,
     request: Request,
+    trace: Option<TraceContext>,
 ) -> Result<(), ()> {
     let send = |p: Pending| tx.send(p).map_err(|_| ());
     match request {
         Request::Score { seq, stream, droppable, samples } => {
+            // The server span covers decode → enqueue; joined to the
+            // remote client's span when the frame carried its context,
+            // rooting a fresh trace otherwise. The replica's request
+            // span becomes this span's child, so the whole batcher
+            // phase tree hangs off one cross-process trace.
+            let span = match trace {
+                Some(ctx) => sdc_obs::Span::child("node.server.request", ctx),
+                None => sdc_obs::Span::root("node.server.request"),
+            };
             let client = clients.entry(stream).or_insert_with(|| shared.replicas.client(stream));
             if droppable {
-                match client.try_submit(samples) {
+                match client.try_submit_traced(samples, span.context()) {
                     Ok(SubmitOutcome::Enqueued(ticket)) => send(Pending::Ticket { seq, ticket }),
                     Ok(SubmitOutcome::Shed(cause)) => {
                         send(Pending::Ready(Reply::Shed { seq, cause }))
@@ -274,7 +301,7 @@ fn handle_request(
                     Err(e) => send(Pending::Ready(Reply::Error { seq, message: e.to_string() })),
                 }
             } else {
-                match client.submit(samples) {
+                match client.submit_traced(samples, span.context()) {
                     Ok(ticket) => send(Pending::Ticket { seq, ticket }),
                     Err(e) => send(Pending::Ready(Reply::Error { seq, message: e.to_string() })),
                 }
@@ -287,5 +314,30 @@ fn handle_request(
             };
             send(Pending::Ready(reply))
         }
+        Request::Stats { seq } => {
+            let json = stats_json(shared);
+            sdc_obs::counter!("node.stats.requests").inc();
+            sdc_obs::counter!("node.stats.bytes").add(json.len() as u64);
+            send(Pending::Ready(Reply::Stats { seq, json }))
+        }
     }
+}
+
+/// Builds the scrape payload: the live process-global metrics snapshot
+/// plus each replica's per-stream latency breakdown, as one JSON
+/// object — read lock-free from the running batchers.
+fn stats_json(shared: &Shared) -> String {
+    let metrics = sdc_obs::global().snapshot().to_json();
+    let mut out = String::with_capacity(metrics.len() + 128);
+    out.push_str("{\"metrics\": ");
+    out.push_str(metrics.trim_end());
+    out.push_str(", \"replicas\": [");
+    for i in 0..shared.replicas.len() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&shared.replicas.replica(i).stats_snapshot().per_stream_json());
+    }
+    out.push_str("]}");
+    out
 }

@@ -4,20 +4,40 @@
 //!
 //! ```text
 //! "SDCF"                        magic (4 bytes)
-//! u32  payload length           bounded by [`MAX_FRAME`]
-//! u32  payload CRC-32
+//! u32  flags ‖ payload length   bits 28–31 flags, bits 0–27 length
+//! u32  CRC-32                   over extension blocks ‖ payload
+//! [16-byte trace context]       only when FLAG_TRACE is set
 //! payload bytes
 //! ```
 //!
 //! All integers little-endian — the same conventions as the
 //! `sdc-persist` container (`"SDCS"` + CRC-32), applied per message
 //! instead of per file. The reader enforces, in order: magic
-//! ([`NodeError::BadMagic`]), the length bound
+//! ([`NodeError::BadMagic`]), unknown flag bits
+//! ([`NodeError::UnknownFlags`]), the length bound
 //! ([`NodeError::Oversized`], checked **before** any allocation sizes
-//! itself from the hostile length), then the payload CRC
+//! itself from the hostile length), then the CRC
 //! ([`NodeError::ChecksumMismatch`]). A connection that ends exactly at
 //! a frame boundary is a clean close (`Ok(None)`); anywhere else it is
 //! [`NodeError::Truncated`].
+//!
+//! ## The trace-context extension (protocol revision 2)
+//!
+//! The length word's top nibble was zero in every revision-1 frame
+//! ([`MAX_FRAME`] needs only 25 bits), so it now carries flags.
+//! [`FLAG_TRACE`] announces a 16-byte [`TraceContext`]
+//! (trace id ‖ parent span id, little-endian) between the header and
+//! the payload, letting one trace cross the TCP boundary; the CRC
+//! covers the context block and the payload together. Interop with
+//! revision-1 peers is safe **by construction**, both ways:
+//!
+//! * rev-1 frames (flag nibble 0) parse identically under both
+//!   revisions — an old client against a new server, or a traced
+//!   client with tracing disabled, is byte-for-byte the old protocol;
+//! * a rev-2 flagged frame read by a rev-1 peer has a length field
+//!   exceeding `MAX_FRAME`, so the old peer rejects it typed
+//!   (`Oversized`) before touching the payload — never a mis-parse
+//!   (`tests/wire_fuzz.rs` pins both directions).
 //!
 //! ## Messages
 //!
@@ -31,6 +51,7 @@
 use std::io::{Read, Write};
 
 use sdc_data::{Sample, StreamId};
+use sdc_obs::TraceContext;
 use sdc_persist::{crc32, PersistError, StateReader, StateWriter};
 use sdc_serve::ShedCause;
 
@@ -44,6 +65,17 @@ pub const FRAME_MAGIC: &[u8; 4] = b"SDCF";
 /// allocated — the cap is what makes a hostile 16-exabyte length field
 /// harmless.
 pub const MAX_FRAME: u32 = 32 << 20;
+
+/// Length-word flag announcing a 16-byte trace-context block between
+/// the header and the payload (see the module docs on revision-2
+/// interop).
+pub const FLAG_TRACE: u32 = 1 << 28;
+
+/// The flag nibble of the length word.
+const FLAG_BITS: u32 = 0xF000_0000;
+
+/// The length bits of the length word.
+const LEN_BITS: u32 = !FLAG_BITS;
 
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +99,13 @@ pub enum Request {
         seq: u64,
         /// Full container or delta against the previously shipped one.
         ship: Ship,
+    },
+    /// Scrape the node's live metrics: the server answers with its
+    /// process-global `MetricsSnapshot` JSON plus each replica's
+    /// per-stream latency breakdown — without quiescing anything.
+    Stats {
+        /// Client-assigned sequence number, echoed in the reply.
+        seq: u64,
     },
 }
 
@@ -127,6 +166,15 @@ pub enum Reply {
         /// Human-readable failure description.
         message: String,
     },
+    /// The node's live metrics scrape ([`Request::Stats`]).
+    Stats {
+        /// The request's sequence number.
+        seq: u64,
+        /// A JSON object: the process-global metrics snapshot under
+        /// `"metrics"`, plus `"replicas"` — one per-stream latency
+        /// breakdown object per scoring replica.
+        json: String,
+    },
 }
 
 impl Reply {
@@ -136,18 +184,21 @@ impl Reply {
             Reply::Scored { seq, .. }
             | Reply::Shed { seq, .. }
             | Reply::ShipApplied { seq, .. }
-            | Reply::Error { seq, .. } => *seq,
+            | Reply::Error { seq, .. }
+            | Reply::Stats { seq, .. } => *seq,
         }
     }
 }
 
 const TAG_SCORE: u8 = 1;
 const TAG_SHIP: u8 = 2;
+const TAG_STATS: u8 = 3;
 
 const TAG_SCORED: u8 = 1;
 const TAG_SHED: u8 = 2;
 const TAG_SHIP_APPLIED: u8 = 3;
 const TAG_ERROR: u8 = 4;
+const TAG_STATS_REPLY: u8 = 5;
 
 const SHIP_FULL: u8 = 0;
 const SHIP_DELTA: u8 = 1;
@@ -155,30 +206,83 @@ const SHIP_DELTA: u8 = 1;
 const CAUSE_QUEUE_FULL: u8 = 1;
 const CAUSE_BACKLOG: u8 = 2;
 
-/// Writes one frame around `payload`.
+/// Writes one revision-1 frame around `payload` (no flags, no
+/// extension blocks — the form every peer accepts).
 ///
 /// # Errors
 ///
 /// Returns [`NodeError::Oversized`] for payloads past [`MAX_FRAME`]
 /// (nothing is written), and [`NodeError::Io`] on socket failure.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), NodeError> {
+    write_frame_ext(w, payload, None)
+}
+
+/// Writes one frame around `payload`, attaching a trace-context
+/// extension block (and setting [`FLAG_TRACE`]) when `trace` is given.
+/// With `trace: None` the output is byte-for-byte a revision-1 frame.
+///
+/// # Errors
+///
+/// Returns [`NodeError::Oversized`] for payloads past [`MAX_FRAME`]
+/// (nothing is written), and [`NodeError::Io`] on socket failure.
+pub fn write_frame_ext(
+    w: &mut impl Write,
+    payload: &[u8],
+    trace: Option<TraceContext>,
+) -> Result<(), NodeError> {
     if payload.len() as u64 > MAX_FRAME as u64 {
         return Err(NodeError::Oversized { declared: payload.len() as u64 });
     }
+    let trace_bytes = trace.map(TraceContext::to_bytes);
+    let (flags, crc) = match &trace_bytes {
+        Some(block) => {
+            let mut covered = Vec::with_capacity(block.len() + payload.len());
+            covered.extend_from_slice(block);
+            covered.extend_from_slice(payload);
+            (FLAG_TRACE, crc32(&covered))
+        }
+        None => (0, crc32(payload)),
+    };
     let mut header = [0u8; 12];
     header[..4].copy_from_slice(FRAME_MAGIC);
-    header[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-    header[8..12].copy_from_slice(&crc32(payload).to_le_bytes());
+    header[4..8].copy_from_slice(&(flags | payload.len() as u32).to_le_bytes());
+    header[8..12].copy_from_slice(&crc.to_le_bytes());
     w.write_all(&header)
         .map_err(|source| NodeError::Io { context: "write frame header", source })?;
+    if let Some(block) = &trace_bytes {
+        w.write_all(block)
+            .map_err(|source| NodeError::Io { context: "write trace context", source })?;
+    }
     w.write_all(payload)
         .map_err(|source| NodeError::Io { context: "write frame payload", source })?;
     w.flush().map_err(|source| NodeError::Io { context: "flush frame", source })?;
     Ok(())
 }
 
-/// Reads one frame, returning its verified payload — or `Ok(None)` when
-/// the stream ends cleanly at a frame boundary.
+/// Reads exactly `buf.len()` bytes, mapping a clean mid-read EOF to
+/// [`NodeError::Truncated`] with `context`.
+fn read_exact_or_truncated(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), NodeError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(NodeError::Truncated { context }),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(source) => return Err(NodeError::Io { context: "read frame bytes", source }),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one **revision-1** frame, returning its verified payload — or
+/// `Ok(None)` when the stream ends cleanly at a frame boundary. This is
+/// deliberately the old reader: any frame with flag bits set (including
+/// a valid revision-2 traced frame) is rejected typed, exactly like a
+/// pre-revision-2 peer would — its length word exceeds [`MAX_FRAME`].
 ///
 /// # Errors
 ///
@@ -187,6 +291,74 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), NodeError> 
 /// [`NodeError::Truncated`] for a mid-frame end of stream, and
 /// [`NodeError::Io`] for socket failures.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, NodeError> {
+    let Some(header) = read_header(r)? else { return Ok(None) };
+    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len > MAX_FRAME {
+        return Err(NodeError::Oversized { declared: len as u64 });
+    }
+    let crc = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or_truncated(r, &mut payload, "frame payload")?;
+    if crc32(&payload) != crc {
+        return Err(NodeError::ChecksumMismatch);
+    }
+    Ok(Some(payload))
+}
+
+/// One decoded revision-2 frame: the verified payload plus the trace
+/// context the sender attached, if any.
+pub type ExtFrame = (Vec<u8>, Option<TraceContext>);
+
+/// Reads one frame under revision-2 rules, returning its verified
+/// payload plus the trace context if the frame carried one — or
+/// `Ok(None)` on a clean close at a frame boundary.
+///
+/// # Errors
+///
+/// [`NodeError::BadMagic`], [`NodeError::UnknownFlags`] for flag bits
+/// beyond [`FLAG_TRACE`] (rejected before any allocation),
+/// [`NodeError::Oversized`], [`NodeError::ChecksumMismatch`] (the CRC
+/// covers trace block + payload), [`NodeError::Truncated`], and
+/// [`NodeError::Io`].
+pub fn read_frame_ext(r: &mut impl Read) -> Result<Option<ExtFrame>, NodeError> {
+    let Some(header) = read_header(r)? else { return Ok(None) };
+    let word = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    let flags = word & FLAG_BITS;
+    if flags & !FLAG_TRACE != 0 {
+        return Err(NodeError::UnknownFlags { flags: flags >> 28 });
+    }
+    let len = word & LEN_BITS;
+    if len > MAX_FRAME {
+        return Err(NodeError::Oversized { declared: len as u64 });
+    }
+    let crc = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    let trace_bytes = if flags & FLAG_TRACE != 0 {
+        let mut block = [0u8; TraceContext::WIRE_LEN];
+        read_exact_or_truncated(r, &mut block, "trace context")?;
+        Some(block)
+    } else {
+        None
+    };
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or_truncated(r, &mut payload, "frame payload")?;
+    let computed = match &trace_bytes {
+        Some(block) => {
+            let mut covered = Vec::with_capacity(block.len() + payload.len());
+            covered.extend_from_slice(block);
+            covered.extend_from_slice(&payload);
+            crc32(&covered)
+        }
+        None => crc32(&payload),
+    };
+    if computed != crc {
+        return Err(NodeError::ChecksumMismatch);
+    }
+    Ok(Some((payload, trace_bytes.map(TraceContext::from_bytes))))
+}
+
+/// Reads the 12-byte frame header, returning `Ok(None)` on a clean
+/// close before the first byte and checking the magic.
+fn read_header(r: &mut impl Read) -> Result<Option<[u8; 12]>, NodeError> {
     let mut header = [0u8; 12];
     let mut filled = 0;
     while filled < header.len() {
@@ -201,25 +373,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, NodeError> {
     if &header[..4] != FRAME_MAGIC {
         return Err(NodeError::BadMagic);
     }
-    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
-    if len > MAX_FRAME {
-        return Err(NodeError::Oversized { declared: len as u64 });
-    }
-    let crc = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
-    let mut payload = vec![0u8; len as usize];
-    let mut filled = 0;
-    while filled < payload.len() {
-        match r.read(&mut payload[filled..]) {
-            Ok(0) => return Err(NodeError::Truncated { context: "frame payload" }),
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(source) => return Err(NodeError::Io { context: "read frame payload", source }),
-        }
-    }
-    if crc32(&payload) != crc {
-        return Err(NodeError::ChecksumMismatch);
-    }
-    Ok(Some(payload))
+    Ok(Some(header))
 }
 
 fn put_samples(w: &mut StateWriter, samples: &[Sample]) {
@@ -272,6 +426,10 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
                 }
             }
         }
+        Request::Stats { seq } => {
+            w.put_u8(TAG_STATS);
+            w.put_u64(*seq);
+        }
     }
     w.into_bytes()
 }
@@ -312,6 +470,7 @@ fn decode_request_inner(payload: &[u8]) -> Result<Request, PersistError> {
             };
             Request::Ship { seq, ship }
         }
+        TAG_STATS => Request::Stats { seq: r.get_u64()? },
         tag => {
             return Err(PersistError::Corrupt {
                 context: "request tag",
@@ -361,6 +520,11 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             w.put_u64(*seq);
             w.put_str(message);
         }
+        Reply::Stats { seq, json } => {
+            w.put_u8(TAG_STATS_REPLY);
+            w.put_u64(*seq);
+            w.put_str(json);
+        }
     }
     w.into_bytes()
 }
@@ -396,6 +560,11 @@ fn decode_reply_inner(payload: &[u8]) -> Result<Reply, PersistError> {
             let seq = r.get_u64()?;
             let message = r.get_str()?;
             Reply::Error { seq, message }
+        }
+        TAG_STATS_REPLY => {
+            let seq = r.get_u64()?;
+            let json = r.get_str()?;
+            Reply::Stats { seq, json }
         }
         tag => {
             return Err(PersistError::Corrupt {
@@ -548,6 +717,115 @@ mod tests {
         }
     }
 
+    fn ctx(trace: u64, parent: u64) -> TraceContext {
+        TraceContext { trace: sdc_obs::TraceId(trace), parent: sdc_obs::SpanId(parent) }
+    }
+
+    #[test]
+    fn traced_frames_roundtrip_through_the_ext_reader() {
+        let mut framed = Vec::new();
+        write_frame_ext(&mut framed, b"payload", Some(ctx(0xAB, 0xCD))).unwrap();
+        let mut cursor = &framed[..];
+        let (payload, trace) = read_frame_ext(&mut cursor).unwrap().unwrap();
+        assert_eq!(payload, b"payload");
+        assert_eq!(trace, Some(ctx(0xAB, 0xCD)));
+        assert!(read_frame_ext(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn untraced_ext_frames_are_bytewise_revision_one() {
+        let mut plain = Vec::new();
+        write_frame(&mut plain, b"same bytes").unwrap();
+        let mut ext = Vec::new();
+        write_frame_ext(&mut ext, b"same bytes", None).unwrap();
+        assert_eq!(plain, ext);
+        // And the ext reader accepts the rev-1 frame with no context.
+        let (payload, trace) = read_frame_ext(&mut &plain[..]).unwrap().unwrap();
+        assert_eq!(payload, b"same bytes");
+        assert_eq!(trace, None);
+    }
+
+    #[test]
+    fn old_readers_reject_traced_frames_typed_never_misparse() {
+        let mut framed = Vec::new();
+        write_frame_ext(&mut framed, b"from the future", Some(ctx(1, 2))).unwrap();
+        // A revision-1 peer sees a length word with bit 28 set — over
+        // its frame bound — and rejects before reading the payload.
+        match read_frame(&mut &framed[..]).unwrap_err() {
+            NodeError::Oversized { declared } => {
+                assert_eq!(declared, FLAG_TRACE as u64 + b"from the future".len() as u64)
+            }
+            e => panic!("expected Oversized, got {e}"),
+        }
+    }
+
+    #[test]
+    fn unknown_flag_bits_are_rejected_typed_before_allocation() {
+        for bad_nibble in [0x2u32, 0x4, 0x8, 0x3, 0xF] {
+            let mut framed = Vec::new();
+            framed.extend_from_slice(FRAME_MAGIC);
+            framed.extend_from_slice(&((bad_nibble << 28) | 4).to_le_bytes());
+            framed.extend_from_slice(&0u32.to_le_bytes());
+            framed.extend_from_slice(&[0; 4]);
+            match read_frame_ext(&mut &framed[..]).unwrap_err() {
+                NodeError::UnknownFlags { flags } => assert_eq!(flags, bad_nibble),
+                e => panic!("flag nibble {bad_nibble:#x} gave {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ext_reader_still_bounds_hostile_lengths() {
+        // FLAG_TRACE plus a hostile 28-bit length: the flag must not
+        // smuggle the length past the bound.
+        let mut framed = Vec::new();
+        framed.extend_from_slice(FRAME_MAGIC);
+        framed.extend_from_slice(&(FLAG_TRACE | LEN_BITS).to_le_bytes());
+        framed.extend_from_slice(&0u32.to_le_bytes());
+        match read_frame_ext(&mut &framed[..]).unwrap_err() {
+            NodeError::Oversized { declared } => assert_eq!(declared, LEN_BITS as u64),
+            e => panic!("expected Oversized, got {e}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_trace_block_fails_the_frame_crc() {
+        let mut framed = Vec::new();
+        write_frame_ext(&mut framed, b"guarded", Some(ctx(7, 8))).unwrap();
+        // Flip a byte inside the 16-byte trace block (offset 12..28).
+        framed[14] ^= 0x40;
+        assert!(matches!(
+            read_frame_ext(&mut &framed[..]).unwrap_err(),
+            NodeError::ChecksumMismatch
+        ));
+    }
+
+    #[test]
+    fn truncated_trace_block_is_truncated_not_misparsed() {
+        let mut framed = Vec::new();
+        write_frame_ext(&mut framed, b"cut me", Some(ctx(7, 8))).unwrap();
+        for cut in 13..12 + TraceContext::WIRE_LEN {
+            match read_frame_ext(&mut &framed[..cut]) {
+                Err(NodeError::Truncated { context }) => assert_eq!(context, "trace context"),
+                other => panic!("cut at {cut} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_request_and_reply_roundtrip() {
+        let request = Request::Stats { seq: 31 };
+        assert_eq!(decode_request(&encode_request(&request)).unwrap(), request);
+        let reply = Reply::Stats { seq: 31, json: "{\"metrics\": {}}".into() };
+        let decoded = decode_reply(&encode_reply(&reply)).unwrap();
+        assert_eq!(decoded, reply);
+        assert_eq!(decoded.seq(), 31);
+        // Trailing bytes after a Stats request are malformed.
+        let mut bytes = encode_request(&request);
+        bytes.push(0);
+        assert!(matches!(decode_request(&bytes).unwrap_err(), NodeError::Malformed(_)));
+    }
+
     #[test]
     fn replies_roundtrip() {
         let replies = [
@@ -556,6 +834,7 @@ mod tests {
             Reply::Shed { seq: 3, cause: ShedCause::Backlog },
             Reply::ShipApplied { seq: 4, sections: 9 },
             Reply::Error { seq: 5, message: "broken".into() },
+            Reply::Stats { seq: 6, json: "{}".into() },
         ];
         for reply in &replies {
             let decoded = decode_reply(&encode_reply(reply)).unwrap();

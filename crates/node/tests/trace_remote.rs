@@ -1,0 +1,127 @@
+//! The tentpole tracing contract, end to end over loopback TCP: one
+//! scoring request through `NodeClient → NodeServer → replica batcher`
+//! must produce **one connected trace** — the client's span the
+//! ancestor of the server's handler span, the replica's request span,
+//! and every batcher phase span — exportable as well-formed Chrome
+//! trace JSON, while scoring stays bit-identical to the untraced path.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use sdc_core::model::ModelConfig;
+use sdc_core::score::contrast_scores_shared;
+use sdc_core::ContrastiveModel;
+use sdc_data::Sample;
+use sdc_nn::models::EncoderConfig;
+use sdc_node::{NodeClient, NodeServer};
+use sdc_obs::{SpanId, SpanRecord};
+use sdc_serve::{ReplicaSet, ServeConfig};
+use sdc_tensor::Tensor;
+
+fn tiny_model(seed: u64) -> ContrastiveModel {
+    ContrastiveModel::new(&ModelConfig {
+        encoder: EncoderConfig::tiny(),
+        projection_hidden: 8,
+        projection_dim: 4,
+        seed,
+    })
+}
+
+fn samples(n: usize, seed: u64) -> Vec<Sample> {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    (0..n).map(|i| Sample::new(Tensor::randn([3, 8, 8], 1.0, &mut rng), 0, i as u64)).collect()
+}
+
+fn span_named<'a>(spans: &'a [SpanRecord], name: &str) -> &'a SpanRecord {
+    let matches: Vec<_> = spans.iter().filter(|s| s.name == name).collect();
+    assert_eq!(matches.len(), 1, "expected exactly one `{name}` span, got {}", matches.len());
+    matches[0]
+}
+
+/// Walks parent links from `span` to the trace root, returning every
+/// ancestor id (panics on a broken link or a cycle).
+fn ancestors<'a>(spans: &'a [SpanRecord], mut span: &'a SpanRecord) -> Vec<SpanId> {
+    let by_id: BTreeMap<SpanId, &SpanRecord> = spans.iter().map(|s| (s.span, s)).collect();
+    let mut chain = Vec::new();
+    while let Some(parent) = span.parent {
+        assert!(chain.len() <= spans.len(), "cycle in span parent links");
+        chain.push(parent);
+        span = by_id.get(&parent).unwrap_or_else(|| panic!("span {parent:?} has no record"));
+    }
+    chain
+}
+
+#[test]
+fn one_request_produces_one_connected_trace_across_the_wire() {
+    sdc_obs::set_trace_enabled(true);
+    sdc_obs::trace_collector().clear();
+
+    let model = tiny_model(91);
+    let reference = model.clone();
+    let replicas =
+        Arc::new(ReplicaSet::start(model, ServeConfig { replicas: 2, ..ServeConfig::default() }));
+    let server = NodeServer::start(Arc::clone(&replicas)).expect("start server");
+    let client = NodeClient::connect(server.addr()).expect("connect");
+
+    // Tracing must stay observe-only: the traced remote score equals
+    // direct in-process scoring bit-for-bit.
+    let pool = samples(4, 910);
+    let scores = client.score(7, pool.clone()).expect("remote score");
+    assert_eq!(scores, contrast_scores_shared(&reference, &pool).expect("direct score"));
+
+    // Batcher phase spans land after the reply is sent; quiescing every
+    // replica orders this snapshot after them.
+    for i in 0..replicas.len() {
+        replicas.replica(i).quiesce().expect("quiesce replica");
+    }
+    let spans = sdc_obs::trace_collector().snapshot();
+
+    // One span per tier, all in one trace.
+    let client_span = span_named(&spans, "node.client.request");
+    let server_span = span_named(&spans, "node.server.request");
+    let request_span = span_named(&spans, "serve.request");
+    assert!(client_span.parent.is_none(), "the client span roots the trace");
+    for span in [server_span, request_span] {
+        assert_eq!(span.trace, client_span.trace, "trace id broke crossing a tier");
+    }
+
+    // Parent links: client → server → replica request → each phase.
+    assert_eq!(server_span.parent, Some(client_span.span));
+    assert_eq!(request_span.parent, Some(server_span.span));
+    for phase in [
+        "serve.phase.enqueue",
+        "serve.phase.batch_assembly",
+        "serve.phase.score",
+        "serve.phase.reply",
+    ] {
+        let span = span_named(&spans, phase);
+        assert_eq!(span.trace, client_span.trace, "{phase} left the trace");
+        assert_eq!(span.parent, Some(request_span.span), "{phase} detached from the request span");
+        let chain = ancestors(&spans, span);
+        assert!(
+            chain.contains(&client_span.span),
+            "{phase} is not a descendant of the client span"
+        );
+    }
+
+    // The export is a well-formed Chrome trace: a JSON array with one
+    // complete event per span, each carrying the shared trace id.
+    let json = sdc_obs::chrome_trace_json(&spans);
+    assert!(json.starts_with("[\n"), "export must be a JSON array");
+    assert!(json.trim_end().ends_with(']'), "export must close the array");
+    let trace_hex = format!("{:#018x}", client_span.trace.0);
+    for name in ["node.client.request", "node.server.request", "serve.request"] {
+        let event = json
+            .lines()
+            .find(|l| l.contains(&format!("\"name\": \"{name}\"")))
+            .unwrap_or_else(|| panic!("export lost the `{name}` span"));
+        assert!(event.contains(&trace_hex), "`{name}` event lost its trace id");
+        assert!(event.contains("\"ph\": \"X\""), "`{name}` event is not a complete event");
+    }
+
+    // And the scrape endpoint works on the same live connection.
+    let stats = client.stats().expect("stats scrape");
+    assert!(stats.contains("\"metrics\""), "scrape missing metrics: {stats}");
+    assert!(stats.contains("\"replicas\""), "scrape missing replicas: {stats}");
+    assert!(stats.contains("\"7\""), "scrape missing stream 7's latency row: {stats}");
+}

@@ -20,9 +20,11 @@ use sdc_core::ContrastiveModel;
 use sdc_data::Sample;
 use sdc_nn::models::EncoderConfig;
 use sdc_node::wire::{
-    decode_reply, encode_request, read_frame, write_frame, Reply, Request, FRAME_MAGIC, MAX_FRAME,
+    decode_reply, encode_request, read_frame, write_frame, write_frame_ext, Reply, Request,
+    FLAG_TRACE, FRAME_MAGIC, MAX_FRAME,
 };
 use sdc_node::{NodeClient, NodeServer};
+use sdc_obs::{SpanId, TraceContext, TraceId};
 use sdc_serve::{ReplicaSet, ServeConfig};
 use sdc_tensor::Tensor;
 
@@ -255,6 +257,121 @@ fn interleaved_partial_writes_still_assemble_into_scored_replies() {
         }
     }
     fixture.assert_still_serving(106);
+}
+
+#[test]
+fn unknown_flag_bits_get_typed_error_and_teardown() {
+    let fixture = Fixture::start(61);
+    // Flag nibbles from a protocol revision this server does not speak
+    // — with and without the trace bit — each on a frame whose length,
+    // CRC, and payload are otherwise pristine. The server must reject
+    // typed before touching the payload and keep serving everyone else.
+    for bad_nibble in [0x2u32, 0x8, 0x3, 0xA] {
+        let payload = encode_request(&Request::Score {
+            seq: 1,
+            stream: 0,
+            droppable: false,
+            samples: samples(2, 700),
+        });
+        let crc = {
+            // Mirror the frame CRC so only the flag nibble is hostile.
+            let mut plain = Vec::new();
+            write_frame(&mut plain, &payload).expect("frame request");
+            u32::from_le_bytes(plain[8..12].try_into().unwrap())
+        };
+        let mut frame = Vec::new();
+        frame.extend_from_slice(FRAME_MAGIC);
+        frame.extend_from_slice(&((bad_nibble << 28) | payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc.to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let replies = attack(&fixture, &frame);
+        assert_typed_frame_error(&replies);
+    }
+    fixture.assert_still_serving(107);
+}
+
+#[test]
+fn traced_frames_are_served_and_corrupt_trace_blocks_rejected() {
+    let fixture = Fixture::start(67);
+    let pool = samples(2, 701);
+    let payload = encode_request(&Request::Score {
+        seq: 1,
+        stream: 3,
+        droppable: false,
+        samples: pool.clone(),
+    });
+    let ctx = TraceContext { trace: TraceId(0x1111), parent: SpanId(0x2222) };
+    let mut frame = Vec::new();
+    write_frame_ext(&mut frame, &payload, Some(ctx)).expect("frame traced request");
+    assert_eq!(
+        u32::from_le_bytes(frame[4..8].try_into().unwrap()) & FLAG_TRACE,
+        FLAG_TRACE,
+        "traced frame must carry the trace flag"
+    );
+
+    // A well-formed revision-2 frame is scored bit-identically.
+    let replies = attack(&fixture, &frame);
+    match replies.as_slice() {
+        [Reply::Scored { seq: 1, scores }] => assert_eq!(
+            scores,
+            &contrast_scores_shared(&fixture.reference, &pool).expect("direct score")
+        ),
+        other => panic!("expected one Scored reply for the traced frame, got {other:?}"),
+    }
+
+    // The same frame with one bit flipped inside the 16-byte trace
+    // block fails the frame CRC: trace context is integrity-protected.
+    let mut corrupted = frame.clone();
+    corrupted[15] ^= 0x08;
+    let replies = attack(&fixture, &corrupted);
+    assert_typed_frame_error(&replies);
+    fixture.assert_still_serving(108);
+}
+
+#[test]
+fn revision_one_frames_are_still_served_unchanged() {
+    let fixture = Fixture::start(71);
+    // An old peer that has never heard of flags or trace blocks: plain
+    // `write_frame` output must be served exactly as before the
+    // revision bump.
+    let pool = samples(3, 702);
+    let payload = encode_request(&Request::Score {
+        seq: 9,
+        stream: 1,
+        droppable: false,
+        samples: pool.clone(),
+    });
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &payload).expect("frame rev-1 request");
+    let replies = attack(&fixture, &frame);
+    match replies.as_slice() {
+        [Reply::Scored { seq: 9, scores }] => assert_eq!(
+            scores,
+            &contrast_scores_shared(&fixture.reference, &pool).expect("direct score")
+        ),
+        other => panic!("expected one Scored reply for the rev-1 frame, got {other:?}"),
+    }
+    fixture.assert_still_serving(109);
+}
+
+#[test]
+fn stats_requests_are_served_over_a_raw_socket() {
+    let fixture = Fixture::start(73);
+    // Prime some traffic so the scrape has something to show.
+    fixture.assert_still_serving(110);
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &encode_request(&Request::Stats { seq: 4 })).expect("frame stats");
+    let replies = attack(&fixture, &frame);
+    match replies.as_slice() {
+        [Reply::Stats { seq: 4, json }] => {
+            assert!(json.starts_with('{') && json.ends_with('}'), "not a JSON object: {json}");
+            assert!(json.contains("\"metrics\""), "scrape missing metrics: {json}");
+            assert!(json.contains("\"replicas\""), "scrape missing replicas: {json}");
+            assert!(json.contains("\"counters\""), "metrics snapshot missing counters: {json}");
+        }
+        other => panic!("expected one Stats reply, got {other:?}"),
+    }
+    fixture.assert_still_serving(111);
 }
 
 #[test]

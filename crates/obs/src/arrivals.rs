@@ -63,6 +63,29 @@ pub enum ArrivalProcess {
         /// Per-arrival probability of switching burst → calm.
         exit_burst: f64,
     },
+    /// Self-similar / long-range-dependent arrivals: the superposition
+    /// of `sources` independent on–off sources whose on- and off-period
+    /// lengths are Pareto-distributed with tail index `alpha`. For
+    /// `1 < alpha < 2` the period distribution is heavy-tailed
+    /// (infinite variance), and the aggregate is the classic
+    /// Taqqu/Willinger/Sherman construction of self-similar traffic —
+    /// burstiness persists across every timescale instead of smoothing
+    /// out the way Poisson aggregates do. While *on*, a source emits
+    /// with exponential gaps at `on_gap_nanos`; while *off* it is
+    /// silent.
+    SelfSimilar {
+        /// Number of superposed on–off sources (≥ 1).
+        sources: u32,
+        /// Pareto tail index for on/off period lengths; `1 < α < 2`
+        /// gives long-range dependence (1.5 is the usual choice).
+        alpha: f64,
+        /// Mean gap between emissions while a source is on.
+        on_gap_nanos: u64,
+        /// Minimum (scale) length of an on-period.
+        min_on_nanos: u64,
+        /// Minimum (scale) length of an off-period.
+        min_off_nanos: u64,
+    },
 }
 
 impl ArrivalProcess {
@@ -70,6 +93,24 @@ impl ArrivalProcess {
     /// start of the run), non-decreasing. Pure function of
     /// `(self, seed, n)`.
     pub fn schedule(&self, seed: u64, n: usize) -> Vec<u64> {
+        if let ArrivalProcess::SelfSimilar {
+            sources,
+            alpha,
+            on_gap_nanos,
+            min_on_nanos,
+            min_off_nanos,
+        } = *self
+        {
+            return self_similar_schedule(
+                seed,
+                n,
+                sources.max(1),
+                alpha,
+                on_gap_nanos,
+                min_on_nanos,
+                min_off_nanos,
+            );
+        }
         let mut rng = SplitMix64::new(seed);
         let mut now = 0u64;
         let mut in_burst = false;
@@ -87,12 +128,100 @@ impl ArrivalProcess {
                     in_burst = if in_burst { flip >= exit_burst } else { flip < enter_burst };
                     exp_gap(&mut rng, if in_burst { burst_gap_nanos } else { calm_gap_nanos })
                 }
+                ArrivalProcess::SelfSimilar { .. } => unreachable!("handled above"),
             };
             now = now.saturating_add(gap);
             out.push(now);
         }
         out
     }
+}
+
+/// One Pareto on–off source: silent through a heavy-tailed off period,
+/// then emits exponential-gap arrivals through a heavy-tailed on
+/// period, forever. Each source owns its own [`SplitMix64`], so the
+/// aggregate is a pure function of `(seed, source index)`.
+struct OnOffSource {
+    rng: SplitMix64,
+    now: u64,
+    on_until: u64,
+    alpha: f64,
+    on_gap_nanos: u64,
+    min_on_nanos: u64,
+    min_off_nanos: u64,
+}
+
+impl OnOffSource {
+    fn next_arrival(&mut self) -> u64 {
+        loop {
+            if self.now < self.on_until {
+                let gap = exp_gap(&mut self.rng, self.on_gap_nanos);
+                let t = self.now.saturating_add(gap.max(1));
+                if t <= self.on_until {
+                    self.now = t;
+                    return t;
+                }
+                // The gap carried past the on period: go silent.
+                self.now = self.on_until;
+            }
+            let off = pareto_gap(&mut self.rng, self.alpha, self.min_off_nanos);
+            self.now = self.now.saturating_add(off);
+            let on = pareto_gap(&mut self.rng, self.alpha, self.min_on_nanos);
+            self.on_until = self.now.saturating_add(on);
+        }
+    }
+}
+
+/// The Taqqu/Willinger/Sherman superposition: merge the first `n`
+/// arrivals of `sources` independent on–off sources, each seeded from
+/// one draw of a seeder PRNG. O(n · sources), deterministic (ties
+/// break toward the lower source index).
+fn self_similar_schedule(
+    seed: u64,
+    n: usize,
+    sources: u32,
+    alpha: f64,
+    on_gap_nanos: u64,
+    min_on_nanos: u64,
+    min_off_nanos: u64,
+) -> Vec<u64> {
+    let mut seeder = SplitMix64::new(seed);
+    let mut heads: Vec<(u64, OnOffSource)> = (0..sources)
+        .map(|_| {
+            let mut s = OnOffSource {
+                rng: SplitMix64::new(seeder.next_u64()),
+                now: 0,
+                on_until: 0,
+                alpha,
+                on_gap_nanos: on_gap_nanos.max(1),
+                min_on_nanos: min_on_nanos.max(1),
+                min_off_nanos: min_off_nanos.max(1),
+            };
+            let first = s.next_arrival();
+            (first, s)
+        })
+        .collect();
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut idx = 0;
+        for j in 1..heads.len() {
+            if heads[j].0 < heads[idx].0 {
+                idx = j;
+            }
+        }
+        let (t, src) = &mut heads[idx];
+        out.push(*t);
+        *t = src.next_arrival();
+    }
+    out
+}
+
+/// Pareto-distributed period length via inverse-CDF sampling:
+/// `min · (1 − u)^(−1/α)`. Heavy-tailed for small `α` (infinite
+/// variance when `α < 2`); saturates on `u64` conversion.
+fn pareto_gap(rng: &mut SplitMix64, alpha: f64, min_nanos: u64) -> u64 {
+    let u = rng.next_f64();
+    ((min_nanos as f64) * (1.0 - u).powf(-1.0 / alpha.max(0.1))) as u64
 }
 
 /// Exponentially distributed gap via inverse-CDF sampling.
@@ -146,6 +275,50 @@ mod tests {
         let observed = *s.last().unwrap() as f64 / s.len() as f64;
         let err = (observed - mean as f64).abs() / mean as f64;
         assert!(err < 0.05, "observed mean gap {observed}, want ≈ {mean}");
+    }
+
+    fn self_similar() -> ArrivalProcess {
+        ArrivalProcess::SelfSimilar {
+            sources: 8,
+            alpha: 1.5,
+            on_gap_nanos: 50_000,
+            min_on_nanos: 500_000,
+            min_off_nanos: 2_000_000,
+        }
+    }
+
+    #[test]
+    fn self_similar_schedule_is_reproducible() {
+        let p = self_similar();
+        assert_eq!(p.schedule(7, 2000), p.schedule(7, 2000));
+        assert_ne!(p.schedule(7, 2000), p.schedule(8, 2000));
+        // A prefix of a longer run is the same schedule (pure function
+        // of (self, seed), not of n).
+        assert_eq!(p.schedule(7, 500), p.schedule(7, 2000)[..500].to_vec());
+    }
+
+    #[test]
+    fn self_similar_schedule_is_nondecreasing() {
+        let s = self_similar().schedule(3, 5000);
+        assert_eq!(s.len(), 5000);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn self_similar_gaps_are_heavy_tailed() {
+        // The defining signature: a handful of enormous silent gaps
+        // (every source off at once, Pareto-long) amid dense bursts.
+        // Compare the max gap to the median — Poisson's ratio is small
+        // and concentrated; the on-off superposition's is huge.
+        let s = self_similar().schedule(5, 20_000);
+        let mut gaps: Vec<u64> = s.windows(2).map(|w| w[1] - w[0]).collect();
+        gaps.sort_unstable();
+        let median = gaps[gaps.len() / 2].max(1);
+        let max = *gaps.last().unwrap();
+        assert!(max / median > 50, "expected heavy-tailed gaps, max {max} median {median}");
+        // And the bursts are real: plenty of sub-mean gaps.
+        let short = gaps.iter().filter(|&&g| g < 50_000).count();
+        assert!(short > gaps.len() / 4, "expected dense bursts, saw {short}");
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //! dependency-free metrics registry ([`Counter`], [`Gauge`],
 //! [`LatencyHistogram`]), a zero-cost-when-disabled scope timer
 //! ([`ScopeTimer`] / [`scope!`]), a `MetricsSnapshot → JSON` exporter,
-//! and the deterministic primitives behind the open-loop load harness
-//! ([`ArrivalProcess`], [`AdmissionController`]).
+//! a request-scoped span tracer with a Chrome-trace exporter
+//! ([`Span`], [`TraceCollector`], [`chrome_trace_json`] — gated by
+//! `SDC_TRACE` / [`set_trace_enabled`]), and the deterministic
+//! primitives behind the open-loop load harness ([`ArrivalProcess`],
+//! [`AdmissionController`]).
 //!
 //! ## Strictly observe-only
 //!
@@ -47,6 +50,14 @@
 //!   `node.frame.rejected` for the TCP front-end, and
 //!   `node.ship.full` / `node.ship.delta` /
 //!   `node.ship.sections_reused` for hot-standby snapshot shipping.
+//! * `node.stats.*` — the network metrics scrape endpoint:
+//!   `node.stats.requests` counts `Stats` requests answered over the
+//!   wire, `node.stats.bytes` the JSON bytes served.
+//! * `obs.trace.*` — the span collector itself ([`trace_collector`]):
+//!   `obs.trace.spans` counts spans pushed into the ring,
+//!   `obs.trace.overwritten` spans lost to ring wrap-around. (The
+//!   collector also keeps its own ungated totals — these registry
+//!   counters exist so a metrics scrape sees tracing health.)
 //! * `tensor.*` — the autodiff/GEMM stack (`sdc-tensor`): scope timers
 //!   `tensor.gemm`, `tensor.gemm.pack_b`, `tensor.gemm.kernel` around
 //!   the blocked kernel, `tensor.backward.{sweep,level}` and
@@ -64,12 +75,18 @@ mod arrivals;
 mod hist;
 mod registry;
 mod scope;
+mod trace;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionDecision};
 pub use arrivals::{ArrivalProcess, SplitMix64};
 pub use hist::{HistogramSnapshot, LatencyHistogram, LatencySummary};
 pub use registry::{global, Counter, Gauge, GaugeReading, MetricsSnapshot, Registry};
 pub use scope::ScopeTimer;
+pub use trace::{
+    chrome_trace_json, new_span_id, new_trace_id, now_nanos, record_span, set_trace_enabled,
+    thread_tag, trace_collector, trace_enabled, Span, SpanId, SpanRecord, TraceCollector,
+    TraceContext, TraceId, DEFAULT_TRACE_CAPACITY, TRACE_ENABLED_ENV,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

@@ -231,7 +231,7 @@ fn push_entries<'a, V: 'a>(
     }
 }
 
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -1,0 +1,535 @@
+//! Request-scoped tracing: a lock-light, fixed-capacity ring-buffer
+//! span collector with a dependency-free Chrome-trace exporter.
+//!
+//! A *span* is a named `[start, end)` interval on the process-global
+//! monotonic clock, tagged with a [`TraceId`] (shared by every span of
+//! one logical request, even across the wire) and an optional parent
+//! [`SpanId`] link. Spans land in a fixed-capacity ring
+//! ([`TraceCollector`]) — one relaxed atomic cursor bump plus one
+//! uncontended per-slot mutex per span, no allocation, old spans
+//! overwritten when the ring wraps — and can be exported at any time
+//! as a `chrome://tracing` / Perfetto-loadable JSON array
+//! ([`chrome_trace_json`]).
+//!
+//! Like the metrics registry, tracing is strictly observe-only and
+//! gated process-wide: [`trace_enabled`] is one relaxed load, and while
+//! disabled ([`TRACE_ENABLED_ENV`]`=0` or [`set_trace_enabled`]
+//! `(false)`) no ids are generated, the clock is never read, and
+//! [`Span`] guards are inert — the same zero-cost-when-off contract as
+//! [`crate::scope!`].
+//!
+//! ```
+//! sdc_obs::set_trace_enabled(true);
+//! let root = sdc_obs::Span::root("docs.request");
+//! let ctx = root.context().unwrap();
+//! {
+//!     let _child = sdc_obs::Span::child("docs.phase", ctx);
+//! }
+//! drop(root);
+//! let spans = sdc_obs::trace_collector().snapshot();
+//! assert!(spans.iter().any(|s| s.name == "docs.phase" && s.parent.is_some()));
+//! let json = sdc_obs::chrome_trace_json(&spans);
+//! assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::arrivals::SplitMix64;
+
+/// Environment variable controlling whether span recording starts
+/// enabled. `0`, `false`, or `off` disable tracing; anything else
+/// (including the variable being unset) leaves it enabled. Runtime
+/// toggle: [`set_trace_enabled`].
+pub const TRACE_ENABLED_ENV: &str = "SDC_TRACE";
+
+/// Spans retained by the global collector before the ring wraps.
+pub const DEFAULT_TRACE_CAPACITY: usize = 16 * 1024;
+
+fn trace_flag() -> &'static AtomicBool {
+    static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+    ENABLED.get_or_init(|| {
+        let on = match std::env::var(TRACE_ENABLED_ENV) {
+            Ok(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "false" | "off"),
+            Err(_) => true,
+        };
+        AtomicBool::new(on)
+    })
+}
+
+/// Whether span recording is currently enabled (one relaxed load).
+#[inline]
+pub fn trace_enabled() -> bool {
+    trace_flag().load(Ordering::Relaxed)
+}
+
+/// Turns span recording on or off process-wide. Already-collected
+/// spans stay in the ring either way; only recording is gated.
+pub fn set_trace_enabled(on: bool) {
+    trace_flag().store(on, Ordering::Relaxed);
+}
+
+/// Identifies one logical request end to end — every span of the
+/// request, on every thread and every node, carries the same trace id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+/// Identifies one span within a trace; parent links between span ids
+/// give the trace its tree shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+/// Draws a fresh nonzero id: a process-global counter pushed through
+/// the [`SplitMix64`] output permutation, so ids are unique per
+/// process and well-scrambled without a lock.
+fn next_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    loop {
+        let raw = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let id = SplitMix64::new(raw).next_u64();
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+/// Allocates a fresh trace id.
+pub fn new_trace_id() -> TraceId {
+    TraceId(next_id())
+}
+
+/// Allocates a fresh span id.
+pub fn new_span_id() -> SpanId {
+    SpanId(next_id())
+}
+
+/// Nanoseconds since the process-global trace epoch (first use).
+/// Monotonic: every span's timestamps come from this one clock, so
+/// parent/child intervals are directly comparable across threads.
+pub fn now_nanos() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// A small per-thread display tag for the Chrome `tid` field (threads
+/// are numbered in first-use order).
+pub fn thread_tag() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TAG: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TAG.with(|t| *t)
+}
+
+/// The propagation half of a span: enough to parent remote or
+/// cross-thread children. 16 bytes on the wire ([`Self::to_bytes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// The request's trace id.
+    pub trace: TraceId,
+    /// The span that children created from this context hang under.
+    pub parent: SpanId,
+}
+
+impl TraceContext {
+    /// Serialized size of a context ([`Self::to_bytes`]).
+    pub const WIRE_LEN: usize = 16;
+
+    /// Little-endian `trace ‖ parent` — the wire form carried by the
+    /// `SDCF` trace-context frame extension.
+    pub fn to_bytes(self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[..8].copy_from_slice(&self.trace.0.to_le_bytes());
+        out[8..].copy_from_slice(&self.parent.0.to_le_bytes());
+        out
+    }
+
+    /// Inverse of [`Self::to_bytes`].
+    pub fn from_bytes(b: [u8; Self::WIRE_LEN]) -> Self {
+        let trace = u64::from_le_bytes(b[..8].try_into().unwrap());
+        let parent = u64::from_le_bytes(b[8..].try_into().unwrap());
+        Self { trace: TraceId(trace), parent: SpanId(parent) }
+    }
+}
+
+/// One finished span interval, as retained by the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id.
+    pub span: SpanId,
+    /// Parent span, if any (`None` marks a trace root).
+    pub parent: Option<SpanId>,
+    /// Static span name (dotted-path convention, e.g. `serve.score`).
+    pub name: &'static str,
+    /// Start, nanoseconds on the [`now_nanos`] clock.
+    pub start_nanos: u64,
+    /// End, nanoseconds on the [`now_nanos`] clock (`>= start_nanos`).
+    pub end_nanos: u64,
+    /// Display tag of the recording thread ([`thread_tag`]).
+    pub thread: u64,
+}
+
+/// Fixed-capacity span ring. Pushes are lock-light: one relaxed
+/// fetch-add on the cursor plus one per-slot mutex that is only ever
+/// contended when two pushes race `capacity` apart. Never allocates
+/// after construction; when full, the oldest span is overwritten (and
+/// counted in [`Self::overwritten`]).
+#[derive(Debug)]
+pub struct TraceCollector {
+    slots: Box<[Mutex<Option<SpanRecord>>]>,
+    cursor: AtomicU64,
+    recorded: AtomicU64,
+    overwritten: AtomicU64,
+}
+
+impl TraceCollector {
+    /// A collector retaining up to `capacity` spans (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let slots: Vec<Mutex<Option<SpanRecord>>> =
+            (0..capacity).map(|_| Mutex::new(None)).collect();
+        Self {
+            slots: slots.into_boxed_slice(),
+            cursor: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            overwritten: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity in spans.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total spans ever pushed.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Spans lost to ring wrap-around.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten.load(Ordering::Relaxed)
+    }
+
+    /// Pushes a finished span into the ring (unconditionally — callers
+    /// gate on [`trace_enabled`] so disabled paths never build a
+    /// record in the first place).
+    pub fn record(&self, rec: SpanRecord) {
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len();
+        let mut slot = self.slots[idx].lock().unwrap_or_else(|e| e.into_inner());
+        if slot.replace(rec).is_some() {
+            self.overwritten.fetch_add(1, Ordering::Relaxed);
+            crate::counter!("obs.trace.overwritten").inc();
+        }
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        crate::counter!("obs.trace.spans").inc();
+    }
+
+    /// Every span currently retained, ordered by `(start, span id)` so
+    /// identical ring contents export identically.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> = self
+            .slots
+            .iter()
+            .filter_map(|s| *s.lock().unwrap_or_else(|e| e.into_inner()))
+            .collect();
+        out.sort_by_key(|s| (s.start_nanos, s.span));
+        out
+    }
+
+    /// Empties the ring (counters keep their totals).
+    pub fn clear(&self) {
+        for slot in self.slots.iter() {
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        }
+    }
+}
+
+/// The process-wide collector every [`Span`] records into
+/// (capacity [`DEFAULT_TRACE_CAPACITY`]).
+pub fn trace_collector() -> &'static TraceCollector {
+    static GLOBAL: OnceLock<TraceCollector> = OnceLock::new();
+    GLOBAL.get_or_init(|| TraceCollector::with_capacity(DEFAULT_TRACE_CAPACITY))
+}
+
+/// A guard-style span: measures from construction to drop, then pushes
+/// one [`SpanRecord`] into the global collector. While tracing is
+/// disabled the guard is inert — no ids, no clock reads, no record.
+#[derive(Debug)]
+#[must_use = "a span measures until dropped; bind it with `let _s = ...`"]
+pub struct Span {
+    /// `None` while tracing is disabled (inert guard).
+    armed: Option<ArmedSpan>,
+}
+
+#[derive(Debug)]
+struct ArmedSpan {
+    trace: TraceId,
+    span: SpanId,
+    parent: Option<SpanId>,
+    name: &'static str,
+    start_nanos: u64,
+}
+
+impl Span {
+    /// An inert guard that records nothing — for call sites that only
+    /// sometimes trace (e.g. scoring vs control requests) and want one
+    /// code path.
+    pub fn inert() -> Self {
+        Self { armed: None }
+    }
+
+    /// Starts a new trace with this span as its root.
+    pub fn root(name: &'static str) -> Self {
+        if !trace_enabled() {
+            return Self { armed: None };
+        }
+        Self {
+            armed: Some(ArmedSpan {
+                trace: new_trace_id(),
+                span: new_span_id(),
+                parent: None,
+                name,
+                start_nanos: now_nanos(),
+            }),
+        }
+    }
+
+    /// Starts a child span under `ctx` (same trace, parented to the
+    /// context's span).
+    pub fn child(name: &'static str, ctx: TraceContext) -> Self {
+        if !trace_enabled() {
+            return Self { armed: None };
+        }
+        Self {
+            armed: Some(ArmedSpan {
+                trace: ctx.trace,
+                span: new_span_id(),
+                parent: Some(ctx.parent),
+                name,
+                start_nanos: now_nanos(),
+            }),
+        }
+    }
+
+    /// The propagation context for children of *this* span, or `None`
+    /// while tracing is disabled.
+    pub fn context(&self) -> Option<TraceContext> {
+        self.armed.as_ref().map(|a| TraceContext { trace: a.trace, parent: a.span })
+    }
+
+    /// This span's id, or `None` while tracing is disabled.
+    pub fn id(&self) -> Option<SpanId> {
+        self.armed.as_ref().map(|a| a.span)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(a) = self.armed.take() {
+            trace_collector().record(SpanRecord {
+                trace: a.trace,
+                span: a.span,
+                parent: a.parent,
+                name: a.name,
+                start_nanos: a.start_nanos,
+                end_nanos: now_nanos(),
+                thread: thread_tag(),
+            });
+        }
+    }
+}
+
+/// Records an already-measured interval as a span (for phases whose
+/// start and end are observed on different call paths, where a guard
+/// cannot straddle the interval). Returns the new span's id. Callers
+/// must gate on [`trace_enabled`].
+pub fn record_span(
+    name: &'static str,
+    trace: TraceId,
+    parent: Option<SpanId>,
+    start_nanos: u64,
+    end_nanos: u64,
+) -> SpanId {
+    let span = new_span_id();
+    trace_collector().record(SpanRecord {
+        trace,
+        span,
+        parent,
+        name,
+        start_nanos,
+        end_nanos: end_nanos.max(start_nanos),
+        thread: thread_tag(),
+    });
+    span
+}
+
+/// Serializes spans as a Chrome-trace JSON array of complete (`"X"`)
+/// events — loadable by `chrome://tracing` and Perfetto. `ts`/`dur`
+/// are microseconds with nanosecond decimals; trace/span/parent ids
+/// ride in `args` as hex strings. Output is a pure function of the
+/// input slice.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"name\": ");
+        crate::registry::push_json_string(&mut out, s.name);
+        let dur = s.end_nanos.saturating_sub(s.start_nanos);
+        out.push_str(&format!(
+            ", \"cat\": \"sdc\", \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \
+             \"ts\": {}, \"dur\": {}, \"args\": {{\"trace\": \"{:#018x}\", \
+             \"span\": \"{:#018x}\", \"parent\": \"{}\"}}}}",
+            s.thread,
+            micros(s.start_nanos),
+            micros(dur),
+            s.trace.0,
+            s.span.0,
+            s.parent.map_or_else(|| "none".to_string(), |p| format!("{:#018x}", p.0)),
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Nanoseconds rendered as fractional microseconds (`123.456`).
+fn micros(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1000, nanos % 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_nonzero_and_distinct() {
+        let a = new_span_id();
+        let b = new_span_id();
+        assert_ne!(a.0, 0);
+        assert_ne!(b.0, 0);
+        assert_ne!(a, b);
+        assert_ne!(new_trace_id(), new_trace_id());
+    }
+
+    #[test]
+    fn context_round_trips_through_bytes() {
+        let ctx = TraceContext { trace: TraceId(0xDEAD_BEEF_0123), parent: SpanId(42) };
+        assert_eq!(TraceContext::from_bytes(ctx.to_bytes()), ctx);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_losses() {
+        let c = TraceCollector::with_capacity(4);
+        let rec = |i: u64| SpanRecord {
+            trace: TraceId(1),
+            span: SpanId(i + 1),
+            parent: None,
+            name: "t",
+            start_nanos: i,
+            end_nanos: i + 1,
+            thread: 0,
+        };
+        for i in 0..6 {
+            c.record(rec(i));
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(c.recorded(), 6);
+        assert_eq!(c.overwritten(), 2);
+        // The two oldest spans (start 0, 1) were overwritten.
+        assert!(snap.iter().all(|s| s.start_nanos >= 2));
+        c.clear();
+        assert!(c.snapshot().is_empty());
+        assert_eq!(c.recorded(), 6);
+    }
+
+    #[test]
+    fn snapshot_order_is_deterministic() {
+        let c = TraceCollector::with_capacity(8);
+        for i in [3u64, 1, 2] {
+            c.record(SpanRecord {
+                trace: TraceId(1),
+                span: SpanId(i),
+                parent: None,
+                name: "t",
+                start_nanos: i * 10,
+                end_nanos: i * 10 + 1,
+                thread: 0,
+            });
+        }
+        let starts: Vec<u64> = c.snapshot().iter().map(|s| s.start_nanos).collect();
+        assert_eq!(starts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        set_trace_enabled(false);
+        let s = Span::root("trace.test.disabled");
+        assert!(s.context().is_none());
+        assert!(s.id().is_none());
+        drop(s);
+        set_trace_enabled(true);
+        assert!(!trace_collector().snapshot().iter().any(|r| r.name == "trace.test.disabled"));
+    }
+
+    #[test]
+    fn guard_spans_link_parent_to_child() {
+        set_trace_enabled(true);
+        let root = Span::root("trace.test.parent");
+        let ctx = root.context().unwrap();
+        let root_id = root.id().unwrap();
+        {
+            let _child = Span::child("trace.test.child", ctx);
+        }
+        drop(root);
+        let spans = trace_collector().snapshot();
+        let child = spans.iter().find(|s| s.name == "trace.test.child").unwrap();
+        let parent = spans.iter().find(|s| s.name == "trace.test.parent").unwrap();
+        assert_eq!(child.parent, Some(root_id));
+        assert_eq!(child.trace, parent.trace);
+        assert_eq!(parent.span, root_id);
+        assert!(parent.start_nanos <= child.start_nanos);
+        assert!(parent.end_nanos >= child.end_nanos);
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let spans = vec![
+            SpanRecord {
+                trace: TraceId(7),
+                span: SpanId(8),
+                parent: None,
+                name: "a\"b",
+                start_nanos: 1500,
+                end_nanos: 2500,
+                thread: 3,
+            },
+            SpanRecord {
+                trace: TraceId(7),
+                span: SpanId(9),
+                parent: Some(SpanId(8)),
+                name: "child",
+                start_nanos: 1600,
+                end_nanos: 1700,
+                thread: 3,
+            },
+        ];
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.trim_end().ends_with(']'), "{json}");
+        assert!(json.contains("\"ph\": \"X\""), "{json}");
+        assert!(json.contains("\"ts\": 1.500"), "{json}");
+        assert!(json.contains("\"dur\": 1.000"), "{json}");
+        assert!(json.contains("a\\\"b"), "{json}");
+        assert!(json.contains("\"parent\": \"none\""), "{json}");
+        assert!(json.contains("\"parent\": \"0x0000000000000008\""), "{json}");
+        // Pure function of the input.
+        assert_eq!(json, chrome_trace_json(&spans));
+        assert_eq!(chrome_trace_json(&[]), "[\n]\n");
+    }
+}

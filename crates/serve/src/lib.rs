@@ -67,11 +67,14 @@ mod shard;
 mod snapshot;
 
 pub use driver::{MultiStreamTrainer, RoundReport};
-pub use loadgen::{run_open_loop, LoadReport, LoadgenConfig, RoundLatency};
+pub use loadgen::{
+    run_open_loop, run_open_loop_admission, shed_rate_table, AdmissionLoadReport, AdmissionRound,
+    LoadReport, LoadgenConfig, RoundLatency,
+};
 pub use replica::{replica_for, ReplicaSet};
 pub use service::{
     ScoreOutcome, ScoreTicket, ScoringClient, ScoringService, ServeComposition, ServeConfig,
-    ServeStats, ShedCause, SubmitOutcome,
+    ServeStats, ShedCause, StreamLatency, SubmitOutcome,
 };
 pub use shard::{ShardedBuffer, StreamShard};
 pub use snapshot::NodeSnapshot;

@@ -25,10 +25,17 @@
 //! run, every machine ([`LoadReport::decision_fingerprint`] makes the
 //! comparison one integer). Admitted requests are submitted as
 //! **guaranteed** requests ([`ScoringClient::submit`]) so the service
-//! cannot add wall-clock-dependent sheds of its own; the service-side
-//! typed-shed path ([`ScoringClient::try_submit`]) is exercised by the
-//! admission tests instead. Only the reported *latencies* are
-//! wall-clock (that is the quantity under measurement).
+//! cannot add wall-clock-dependent sheds of its own; only the reported
+//! *latencies* are wall-clock (that is the quantity under
+//! measurement).
+//!
+//! The second mode, [`run_open_loop_admission`], flips the decider:
+//! every arrival is a droppable [`ScoringClient::try_submit`] and the
+//! **service's own admission control** (queue depth + backlog bound)
+//! does the shedding — the mode that charts real shed rate against
+//! offered load ([`shed_rate_table`]). Its shed counts react to
+//! genuine wall-clock queue pressure, so they are intentionally not
+//! seed-reproducible; the schedule still is.
 //!
 //! [`ScoringClient::submit`]: crate::ScoringClient::submit
 //! [`ScoringClient::try_submit`]: crate::ScoringClient::try_submit
@@ -41,7 +48,9 @@ use sdc_obs::{
 };
 use sdc_tensor::Result;
 
-use crate::service::{ScoreTicket, ScoringService, ServeStats};
+use crate::service::{
+    ScoreOutcome, ScoreTicket, ScoringService, ServeStats, ShedCause, SubmitOutcome,
+};
 
 /// Tuning knobs of one open-loop run.
 #[derive(Debug, Clone)]
@@ -195,4 +204,157 @@ pub fn run_open_loop(
     drop(clients);
 
     Ok(LoadReport { schedule, decisions, rounds, service: service.stats_snapshot() })
+}
+
+/// Per-round outcome of a [`run_open_loop_admission`] run, where the
+/// *service* (not a virtual controller) decides what to shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionRound {
+    /// Arrivals scheduled in this round.
+    pub issued: u64,
+    /// Requests that rode a batch and came back scored.
+    pub scored: u64,
+    /// Requests shed at submit time on a full request queue
+    /// ([`ShedCause::QueueFull`]).
+    pub shed_queue_full: u64,
+    /// Requests admitted to the queue but shed by the batcher's
+    /// pending-samples bound ([`ShedCause::Backlog`]).
+    pub shed_backlog: u64,
+    /// Latency percentiles over exactly this round's scored requests.
+    pub latency: LatencySummary,
+}
+
+/// Everything one service-admission open-loop run produced.
+#[derive(Debug, Clone)]
+pub struct AdmissionLoadReport {
+    /// Absolute arrival offsets (nanoseconds from run start).
+    pub schedule: Vec<u64>,
+    /// Per-round scored/shed accounting.
+    pub rounds: Vec<AdmissionRound>,
+    /// The service's own counters at the end of the run.
+    pub service: ServeStats,
+}
+
+impl AdmissionLoadReport {
+    /// Total scored requests across all rounds.
+    pub fn total_scored(&self) -> u64 {
+        self.rounds.iter().map(|r| r.scored).sum()
+    }
+
+    /// Total shed requests (both causes) across all rounds.
+    pub fn total_shed(&self) -> u64 {
+        self.rounds.iter().map(|r| r.shed_queue_full + r.shed_backlog).sum()
+    }
+
+    /// Fraction of scheduled arrivals the service shed (`0.0..=1.0`).
+    pub fn shed_rate(&self) -> f64 {
+        let issued: u64 = self.rounds.iter().map(|r| r.issued).sum();
+        if issued == 0 {
+            0.0
+        } else {
+            self.total_shed() as f64 / issued as f64
+        }
+    }
+
+    /// The schedule's offered load in requests per second (arrival
+    /// count over the scheduled span) — the x-axis of a shed-rate
+    /// curve.
+    pub fn offered_rps(&self) -> f64 {
+        match self.schedule.last() {
+            Some(&end) if end > 0 => self.schedule.len() as f64 * 1e9 / end as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Drives `service` with an open-loop schedule through the
+/// **service-side admission path**: every arrival is a droppable
+/// [`try_submit`], so overload surfaces as the service's own typed
+/// sheds (queue-full at submit, backlog bound at the batcher) instead
+/// of a virtual controller's decisions. This is the mode that charts
+/// *real* shed rate against offered load; unlike [`run_open_loop`],
+/// its shed counts are wall-clock-dependent by design (admission
+/// reacts to genuine queue depth), so only the schedule — not the
+/// outcome — is seed-reproducible.
+///
+/// # Errors
+///
+/// Propagates scoring errors and service termination from any awaited
+/// ticket.
+///
+/// [`try_submit`]: crate::ScoringClient::try_submit
+pub fn run_open_loop_admission(
+    service: &ScoringService,
+    config: &LoadgenConfig,
+    mut make_samples: impl FnMut(u64) -> Vec<Sample>,
+) -> Result<AdmissionLoadReport> {
+    let total = config.rounds * config.requests_per_round;
+    let schedule = config.process.schedule(config.seed, total);
+
+    let streams = config.streams.max(1);
+    let clients: Vec<_> = (0..streams).map(|s| service.client(s as u64)).collect();
+
+    let start = Instant::now();
+    let mut rounds = Vec::with_capacity(config.rounds);
+    for round in 0..config.rounds {
+        let before = service.latency_histogram();
+        let base = round * config.requests_per_round;
+        let mut tickets: Vec<ScoreTicket> = Vec::with_capacity(config.requests_per_round);
+        let mut shed_queue_full = 0u64;
+        for i in base..base + config.requests_per_round {
+            let offset = Duration::from_nanos(schedule[i]);
+            if let Some(wait) = (start + offset).checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            let client = &clients[i % streams];
+            match client.try_submit(make_samples(i as u64))? {
+                SubmitOutcome::Enqueued(ticket) => tickets.push(ticket),
+                SubmitOutcome::Shed(_) => shed_queue_full += 1,
+            }
+        }
+        let mut scored = 0u64;
+        let mut shed_backlog = 0u64;
+        for ticket in tickets {
+            match ticket.wait_outcome()? {
+                ScoreOutcome::Scored(_) => scored += 1,
+                ScoreOutcome::Shed(ShedCause::Backlog) => shed_backlog += 1,
+                ScoreOutcome::Shed(ShedCause::QueueFull) => shed_queue_full += 1,
+            }
+        }
+        let after = service.latency_histogram();
+        rounds.push(AdmissionRound {
+            issued: config.requests_per_round as u64,
+            scored,
+            shed_queue_full,
+            shed_backlog,
+            latency: after.delta(&before).summary(),
+        });
+    }
+    drop(clients);
+
+    Ok(AdmissionLoadReport { schedule, rounds, service: service.stats_snapshot() })
+}
+
+/// Formats a shed-rate vs offered-load sweep as a fixed-width table
+/// (one row per report, ascending or not — caller's order is kept).
+/// The example prints this for a [`LoadgenConfig`] sweep over arrival
+/// rates.
+pub fn shed_rate_table(reports: &[AdmissionLoadReport]) -> String {
+    let mut out =
+        String::from("offered_rps    issued    scored  shed_qfull  shed_backlog  shed_rate\n");
+    for r in reports {
+        let issued: u64 = r.rounds.iter().map(|x| x.issued).sum();
+        let qfull: u64 = r.rounds.iter().map(|x| x.shed_queue_full).sum();
+        let backlog: u64 = r.rounds.iter().map(|x| x.shed_backlog).sum();
+        out.push_str(&format!(
+            "{:>11.0} {:>9} {:>9} {:>11} {:>13} {:>9.3}\n",
+            r.offered_rps(),
+            issued,
+            r.total_scored(),
+            qfull,
+            backlog,
+            r.shed_rate(),
+        ));
+    }
+    out
 }

@@ -29,16 +29,16 @@
 //! pending requests are ordered by stream id before each cut, and the
 //! deadline only fires when some stream genuinely stalls.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sdc_core::score::contrast_scores_shared;
 use sdc_core::ContrastiveModel;
 use sdc_data::{Sample, StreamId};
-use sdc_obs::{HistogramSnapshot, LatencyHistogram, LatencySummary};
+use sdc_obs::{HistogramSnapshot, LatencyHistogram, LatencySummary, SpanId, TraceContext};
 use sdc_runtime::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use sdc_runtime::Runtime;
 use sdc_tensor::{Result, TensorError};
@@ -121,6 +121,13 @@ struct StatsInner {
     /// How late past `flush_deadline` each deadline flush actually
     /// fired (the liveness overshoot under load).
     deadline_lag: LatencyHistogram,
+    /// Per-stream enqueue → reply histograms, grown on a stream's first
+    /// answered request. Every observation recorded here is *also*
+    /// recorded in the aggregate `latency` histogram, so the per-stream
+    /// breakdown projects sum-consistently onto the aggregate. Only the
+    /// batcher inserts (and it caches handles), so this lock is
+    /// snapshot-contended only.
+    per_stream: Mutex<BTreeMap<StreamId, Arc<LatencyHistogram>>>,
 }
 
 /// Why a droppable request was shed instead of scored.
@@ -154,10 +161,19 @@ pub enum SubmitOutcome {
     Shed(ShedCause),
 }
 
+/// One row of the per-stream latency breakdown in [`ServeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamLatency {
+    /// The stream this row summarizes.
+    pub stream: StreamId,
+    /// Enqueue → reply latency of this stream's answered requests.
+    pub latency: LatencySummary,
+}
+
 /// A snapshot of the service's bookkeeping counters and latency
 /// summaries. Obtained live (non-quiescing) via
 /// [`ScoringService::stats_snapshot`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeStats {
     /// Scoring requests answered with scores or an error (shed replies
     /// are counted separately in the `shed_*` fields).
@@ -185,6 +201,12 @@ pub struct ServeStats {
     /// Wall-clock overshoot of each deadline flush past
     /// [`ServeConfig::flush_deadline`] (nanoseconds).
     pub deadline_lag: LatencySummary,
+    /// Per-stream slices of `latency`, ordered by stream id. Every
+    /// latency observation lands in exactly one row *and* in the
+    /// aggregate, so after a [`ScoringService::quiesce`] the row
+    /// counts/sums add up to the aggregate's exactly (a live snapshot
+    /// may catch a reply between the two reads).
+    pub per_stream: Vec<StreamLatency>,
 }
 
 /// The count-derived subset of [`ServeStats`]: every field that is a
@@ -221,6 +243,26 @@ impl ServeStats {
         }
     }
 
+    /// The per-stream breakdown as a deterministic JSON object
+    /// (stream-id keys in ascending order) — the shape the node's
+    /// `Stats` scrape reply and the harness tables embed.
+    pub fn per_stream_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, row) in self.per_stream.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let h = &row.latency;
+            out.push_str(&format!(
+                "\"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}}}",
+                row.stream, h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99, h.p999
+            ));
+        }
+        out.push('}');
+        out
+    }
+
     /// The reproducible, count-derived projection of these stats (what
     /// the equivalence suites compare across runs).
     pub fn composition(&self) -> ServeComposition {
@@ -234,6 +276,25 @@ impl ServeStats {
             dropped_replies: self.dropped_replies,
         }
     }
+}
+
+/// Trace bookkeeping carried by a request while tracing is enabled:
+/// the ids were drawn at submit time, the batcher stamps the phase
+/// boundaries and records the spans at reply time.
+#[derive(Debug, Clone, Copy)]
+struct RequestTrace {
+    /// Context *children of the request span* hang under: the request's
+    /// trace id plus the request span's own id.
+    ctx: TraceContext,
+    /// Upstream parent of the request span (e.g. the remote
+    /// `NodeClient` span carried across the wire), `None` for a trace
+    /// rooted at this request.
+    parent: Option<SpanId>,
+    /// Submit time on the trace clock.
+    arrived_nanos: u64,
+    /// When the batcher popped the request off the queue (stamped by
+    /// the batcher; the end of the `enqueue` phase).
+    dequeued_nanos: u64,
 }
 
 /// One queued scoring request.
@@ -253,6 +314,10 @@ struct ScoreRequest {
     /// ([`ScoringClient::try_submit`] sets it; blocking submits are
     /// guaranteed and never shed).
     droppable: bool,
+    /// Span bookkeeping, populated only while tracing is enabled at
+    /// submit time (strictly observe-only — never read by batching or
+    /// scoring decisions).
+    trace: Option<RequestTrace>,
     reply: Sender<Result<ScoreOutcome>>,
 }
 
@@ -357,7 +422,24 @@ impl ScoringClient {
     ///
     /// Reports the service having terminated.
     pub fn submit(&self, samples: Vec<Sample>) -> Result<ScoreTicket> {
-        let (request, ticket) = self.make_request(samples, false);
+        self.submit_traced(samples, None)
+    }
+
+    /// [`ScoringClient::submit`] with an explicit upstream trace
+    /// context: while tracing is enabled, the request span (and its
+    /// batcher phase spans) become children of `parent` — this is how
+    /// a remote `NodeClient` span ends up the ancestor of the replica
+    /// batcher's spans. `None` roots a fresh trace at this request.
+    ///
+    /// # Errors
+    ///
+    /// Reports the service having terminated.
+    pub fn submit_traced(
+        &self,
+        samples: Vec<Sample>,
+        parent: Option<TraceContext>,
+    ) -> Result<ScoreTicket> {
+        let (request, ticket) = self.make_request_traced(samples, false, parent);
         self.tx.send(Request::Score(request)).map_err(|_| service_gone())?;
         Ok(ticket)
     }
@@ -374,7 +456,21 @@ impl ScoringClient {
     ///
     /// Reports the service having terminated.
     pub fn try_submit(&self, samples: Vec<Sample>) -> Result<SubmitOutcome> {
-        let (request, ticket) = self.make_request(samples, true);
+        self.try_submit_traced(samples, None)
+    }
+
+    /// [`ScoringClient::try_submit`] with an explicit upstream trace
+    /// context (see [`ScoringClient::submit_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// Reports the service having terminated.
+    pub fn try_submit_traced(
+        &self,
+        samples: Vec<Sample>,
+        parent: Option<TraceContext>,
+    ) -> Result<SubmitOutcome> {
+        let (request, ticket) = self.make_request_traced(samples, true, parent);
         match self.tx.try_send(Request::Score(request)) {
             Ok(()) => Ok(SubmitOutcome::Enqueued(ticket)),
             Err(TrySendError::Full(_)) => {
@@ -385,7 +481,21 @@ impl ScoringClient {
         }
     }
 
-    fn make_request(&self, samples: Vec<Sample>, droppable: bool) -> (ScoreRequest, ScoreTicket) {
+    fn make_request_traced(
+        &self,
+        samples: Vec<Sample>,
+        droppable: bool,
+        parent: Option<TraceContext>,
+    ) -> (ScoreRequest, ScoreTicket) {
+        let trace = sdc_obs::trace_enabled().then(|| RequestTrace {
+            ctx: TraceContext {
+                trace: parent.map_or_else(sdc_obs::new_trace_id, |c| c.trace),
+                parent: sdc_obs::new_span_id(),
+            },
+            parent: parent.map(|c| c.parent),
+            arrived_nanos: sdc_obs::now_nanos(),
+            dequeued_nanos: 0,
+        });
         let (rtx, rrx) = bounded(1);
         let request = ScoreRequest {
             stream: self.stream,
@@ -393,6 +503,7 @@ impl ScoringClient {
             arrived: Instant::now(),
             samples,
             droppable,
+            trace,
             reply: rtx,
         };
         (request, ScoreTicket { rx: rrx })
@@ -527,6 +638,14 @@ impl ScoringService {
             shed_queue_full: self.stats.shed_queue_full.load(Ordering::SeqCst),
             latency: self.stats.latency.summary(),
             deadline_lag: self.stats.deadline_lag.summary(),
+            per_stream: self
+                .stats
+                .per_stream
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(&stream, h)| StreamLatency { stream, latency: h.summary() })
+                .collect(),
         }
     }
 
@@ -573,11 +692,23 @@ struct Batcher {
     live: BTreeSet<StreamId>,
     pending: Vec<ScoreRequest>,
     next_seq: u64,
+    /// Batcher-local cache of the shared per-stream histogram handles
+    /// (only the batcher inserts into `StatsInner::per_stream`, so
+    /// after a stream's first reply every later record is lock-free).
+    stream_hists: BTreeMap<StreamId, Arc<LatencyHistogram>>,
 }
 
 impl Batcher {
     fn new(model: ContrastiveModel, config: ServeConfig, stats: Arc<StatsInner>) -> Self {
-        Self { model, config, stats, live: BTreeSet::new(), pending: Vec::new(), next_seq: 0 }
+        Self {
+            model,
+            config,
+            stats,
+            live: BTreeSet::new(),
+            pending: Vec::new(),
+            next_seq: 0,
+            stream_hists: BTreeMap::new(),
+        }
     }
 
     fn run(mut self, rx: Receiver<Request>) {
@@ -605,6 +736,9 @@ impl Batcher {
             };
             match message {
                 Some(Request::Score(mut request)) => {
+                    if let Some(t) = &mut request.trace {
+                        t.dequeued_nanos = sdc_obs::now_nanos();
+                    }
                     if request.samples.is_empty() {
                         // Nothing to batch; answer immediately so empty
                         // requests cannot stall a round.
@@ -724,7 +858,12 @@ impl Batcher {
         for request in &mut wave {
             all.append(&mut request.samples);
         }
+        // Phase boundaries for traced requests: the clock is read only
+        // when a traced request is actually in the wave.
+        let traced = wave.iter().any(|r| r.trace.is_some());
+        let assembled_nanos = if traced { sdc_obs::now_nanos() } else { 0 };
         let scored = contrast_scores_shared(&self.model, &all);
+        let scored_nanos = if traced { sdc_obs::now_nanos() } else { 0 };
 
         self.stats.batches.fetch_add(1, Ordering::SeqCst);
         self.stats.requests.fetch_add(wave.len() as u64, Ordering::SeqCst);
@@ -743,14 +882,66 @@ impl Batcher {
                     let slice = scores[offset..offset + len].to_vec();
                     offset += len;
                     self.reply(request, Ok(slice));
+                    self.record_request_spans(request, assembled_nanos, scored_nanos);
                 }
             }
             Err(e) => {
                 for request in &wave {
                     self.reply(request, Err(e.clone()));
+                    self.record_request_spans(request, assembled_nanos, scored_nanos);
                 }
             }
         }
+    }
+
+    /// Pushes the finished request's span tree into the global
+    /// collector: a `serve.request` span covering submit → reply
+    /// (parented to the upstream context if the request carried one),
+    /// with the four batcher phases as children.
+    fn record_request_spans(
+        &self,
+        request: &ScoreRequest,
+        assembled_nanos: u64,
+        scored_nanos: u64,
+    ) {
+        let Some(t) = request.trace else { return };
+        if !sdc_obs::trace_enabled() {
+            return;
+        }
+        let done = sdc_obs::now_nanos();
+        let trace = t.ctx.trace;
+        let req_span = t.ctx.parent; // the request span's own id
+        sdc_obs::record_span(
+            "serve.phase.enqueue",
+            trace,
+            Some(req_span),
+            t.arrived_nanos,
+            t.dequeued_nanos,
+        );
+        sdc_obs::record_span(
+            "serve.phase.batch_assembly",
+            trace,
+            Some(req_span),
+            t.dequeued_nanos,
+            assembled_nanos,
+        );
+        sdc_obs::record_span(
+            "serve.phase.score",
+            trace,
+            Some(req_span),
+            assembled_nanos,
+            scored_nanos,
+        );
+        sdc_obs::record_span("serve.phase.reply", trace, Some(req_span), scored_nanos, done);
+        sdc_obs::trace_collector().record(sdc_obs::SpanRecord {
+            trace,
+            span: req_span,
+            parent: t.parent,
+            name: "serve.request",
+            start_nanos: t.arrived_nanos,
+            end_nanos: done,
+            thread: sdc_obs::thread_tag(),
+        });
     }
 
     /// Whether admitting `request` would push pending work past the
@@ -761,13 +952,32 @@ impl Batcher {
     }
 
     /// Answers one scored (or errored) request, recording its
-    /// enqueue → reply latency. Shed replies go through
+    /// enqueue → reply latency into the aggregate histogram *and* the
+    /// request's per-stream histogram (one observation each — the
+    /// breakdown projects onto the aggregate). Shed replies go through
     /// [`Batcher::send_reply`] directly and are not latency samples.
-    fn reply(&self, request: &ScoreRequest, result: Result<Vec<f32>>) {
+    fn reply(&mut self, request: &ScoreRequest, result: Result<Vec<f32>>) {
         if sdc_obs::enabled() {
-            self.stats.latency.record_duration(request.arrived.elapsed());
+            let elapsed = request.arrived.elapsed();
+            self.stats.latency.record_duration(elapsed);
+            self.stream_histogram(request.stream).record_duration(elapsed);
         }
         self.send_reply(request, result.map(ScoreOutcome::Scored));
+    }
+
+    /// The shared per-stream histogram handle for `stream`, interning
+    /// it in [`StatsInner::per_stream`] on the stream's first reply.
+    fn stream_histogram(&mut self, stream: StreamId) -> &LatencyHistogram {
+        self.stream_hists.entry(stream).or_insert_with(|| {
+            Arc::clone(
+                self.stats
+                    .per_stream
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .entry(stream)
+                    .or_insert_with(|| Arc::new(LatencyHistogram::new())),
+            )
+        })
     }
 
     fn send_reply(&self, request: &ScoreRequest, outcome: Result<ScoreOutcome>) {
@@ -930,5 +1140,79 @@ mod tests {
         assert!(stats.latency.p50 >= stats.latency.min, "{stats:?}");
         assert!(stats.latency.max >= stats.latency.p999, "{stats:?}");
         assert_eq!(stats.composition(), stats.composition());
+    }
+
+    /// The per-stream breakdown covers every answered request exactly
+    /// once: after a quiesce, row counts and sums add up to the
+    /// aggregate histogram's, and every stream that scored has a row.
+    #[test]
+    fn per_stream_breakdown_projects_onto_the_aggregate() {
+        if !sdc_obs::enabled() {
+            return; // SDC_OBS=0 in the environment: nothing to assert
+        }
+        let service = ScoringService::start(tiny_model(1), ServeConfig::default());
+        let streams = [3u64, 11, 42];
+        let clients: Vec<_> = streams.iter().map(|&s| service.client(s)).collect();
+        for round in 0..2u64 {
+            let tickets: Vec<_> = clients
+                .iter()
+                .enumerate()
+                .map(|(i, c)| c.submit(samples(1 + i, 30 + round * 10 + i as u64)).unwrap())
+                .collect();
+            for t in tickets {
+                t.wait().unwrap();
+            }
+        }
+        service.quiesce().unwrap();
+        let stats = service.stats_snapshot();
+        let rows: Vec<u64> = stats.per_stream.iter().map(|r| r.stream).collect();
+        assert_eq!(rows, streams.to_vec(), "rows sorted by stream id");
+        let count_sum: u64 = stats.per_stream.iter().map(|r| r.latency.count).sum();
+        let nanos_sum: u64 = stats.per_stream.iter().map(|r| r.latency.sum).sum();
+        assert_eq!(count_sum, stats.latency.count, "{stats:?}");
+        assert_eq!(nanos_sum, stats.latency.sum, "{stats:?}");
+        for row in &stats.per_stream {
+            assert_eq!(row.latency.count, 2, "{row:?}");
+            assert!(row.latency.p50 <= stats.latency.max, "{row:?}");
+        }
+        let json = stats.per_stream_json();
+        assert!(json.contains("\"3\": {\"count\": 2"), "{json}");
+    }
+
+    /// A traced request leaves one `serve.request` span with all four
+    /// batcher phases as children, nested inside the request window.
+    #[test]
+    fn traced_requests_record_connected_phase_spans() {
+        sdc_obs::set_trace_enabled(true);
+        let service = ScoringService::start(tiny_model(1), ServeConfig::default());
+        let client = service.client(77);
+        let upstream = sdc_obs::Span::root("test.upstream");
+        let ctx = upstream.context().unwrap();
+        client.submit_traced(samples(2, 50), Some(ctx)).unwrap().wait().unwrap();
+        // The reply unblocks before the batcher finishes recording the
+        // span tree; the quiesce barrier orders the snapshot after it.
+        service.quiesce().unwrap();
+        drop(upstream);
+        let spans = sdc_obs::trace_collector().snapshot();
+        let req = spans
+            .iter()
+            .filter(|s| s.name == "serve.request" && s.trace == ctx.trace)
+            .max_by_key(|s| s.start_nanos)
+            .expect("request span recorded");
+        assert_eq!(req.parent, Some(ctx.parent), "request hangs under the upstream span");
+        for phase in [
+            "serve.phase.enqueue",
+            "serve.phase.batch_assembly",
+            "serve.phase.score",
+            "serve.phase.reply",
+        ] {
+            let p = spans
+                .iter()
+                .find(|s| s.name == phase && s.trace == ctx.trace)
+                .unwrap_or_else(|| panic!("{phase} span missing"));
+            assert_eq!(p.parent, Some(req.span), "{phase} parented to the request span");
+            assert!(p.start_nanos >= req.start_nanos, "{phase} starts inside the request");
+            assert!(p.end_nanos <= req.end_nanos, "{phase} ends inside the request");
+        }
     }
 }

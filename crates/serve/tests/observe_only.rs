@@ -1,11 +1,13 @@
-//! The observability layer's core contract: metrics are strictly
-//! **observe-only**. A served training run produces bit-identical
-//! losses, buffer ids, and buffered score bits whether `sdc-obs`
-//! recording is enabled or disabled — at 1, 2, and 7 threads.
+//! The observability layer's core contract: metrics **and tracing**
+//! are strictly observe-only. A served training run produces
+//! bit-identical losses, buffer ids, and buffered score bits whether
+//! `sdc-obs` recording is enabled or disabled, and whether span
+//! tracing (`SDC_TRACE`) is enabled or disabled — at 1, 2, and 7
+//! threads.
 //!
 //! Lives in its own integration-test binary because it toggles the
-//! process-wide recording flag, which would race any parallel test
-//! asserting on recorded counts.
+//! process-wide recording flags, which would race any parallel test
+//! asserting on recorded counts or spans.
 
 use sdc_core::model::ModelConfig;
 use sdc_core::policy::ContrastScoringPolicy;
@@ -17,6 +19,10 @@ use sdc_runtime::Runtime;
 use sdc_serve::{MultiStreamTrainer, ServeConfig};
 
 const ROUNDS: usize = 4;
+
+/// Both tests flip process-wide recording flags; the harness runs them
+/// in parallel, so they serialize on this lock.
+static FLAG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 fn config() -> TrainerConfig {
     TrainerConfig {
@@ -68,6 +74,7 @@ fn served_run(threads: usize) -> Fingerprint {
 
 #[test]
 fn instrumentation_never_changes_results() {
+    let _guard = FLAG_LOCK.lock().unwrap();
     for threads in [1usize, 2, 7] {
         sdc_obs::set_enabled(true);
         let on = served_run(threads);
@@ -77,6 +84,31 @@ fn instrumentation_never_changes_results() {
         assert_eq!(
             on, off,
             "metrics must be observe-only: enabled vs disabled diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn tracing_never_changes_results() {
+    // The same contract for the span collector: a served run with the
+    // tracer recording every request's phase tree is bit-identical to
+    // one with tracing off. Metrics stay enabled throughout so this
+    // isolates the tracing flag.
+    let _guard = FLAG_LOCK.lock().unwrap();
+    for threads in [1usize, 2, 7] {
+        sdc_obs::set_trace_enabled(true);
+        let on = served_run(threads);
+        let spans = sdc_obs::trace_collector().snapshot();
+        assert!(
+            spans.iter().any(|s| s.name == "serve.request"),
+            "the traced run must actually have recorded request spans"
+        );
+        sdc_obs::set_trace_enabled(false);
+        let off = served_run(threads);
+        sdc_obs::set_trace_enabled(true);
+        assert_eq!(
+            on, off,
+            "tracing must be observe-only: enabled vs disabled diverged at {threads} threads"
         );
     }
 }

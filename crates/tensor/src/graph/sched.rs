@@ -190,6 +190,7 @@ impl Graph {
     pub fn forward(&mut self, root: VarId) -> Result<()> {
         let _sweep_timer = sdc_obs::scope!("tensor.forward.sweep");
         let schedule = levels(&self.nodes, root.0);
+        self.note_replay(&schedule);
         // Deepest level first: a node's parents all sit at strictly
         // deeper levels, so their replayed values are committed before
         // any consumer reads them.
@@ -219,6 +220,23 @@ impl Graph {
         Ok(())
     }
 
+    /// Marks a replay that will rewrite node values: cached
+    /// upstream-gradient packs are keyed on `values_epoch` under the
+    /// invariant "same epoch ⇒ same values ⇒ same `g`", so any sweep
+    /// that recomputes even one node must advance the epoch.
+    ///
+    /// Without this, a backward squeezed **between** `refresh_leaf` and
+    /// the replay would pack `g` from the stale pre-replay values under
+    /// the epoch the post-replay backward then reuses — the
+    /// `backward_between_refresh_and_replay_then_backward_again`
+    /// regression in `tests/backward_equivalence.rs`.
+    fn note_replay(&mut self, schedule: &[Vec<usize>]) {
+        let recomputes = schedule.iter().flatten().any(|&n| !matches!(self.nodes[n].op, Op::Leaf));
+        if recomputes {
+            self.values_epoch += 1;
+        }
+    }
+
     /// The serial forward replay — recomputes the same node set as
     /// [`Graph::forward`] in ascending tape order; the bitwise
     /// reference the overlapped schedule is tested against.
@@ -229,6 +247,7 @@ impl Graph {
     /// replayed; discard it.
     pub fn forward_serial(&mut self, root: VarId) -> Result<()> {
         let schedule = levels(&self.nodes, root.0);
+        self.note_replay(&schedule);
         let mut order: Vec<usize> = schedule
             .into_iter()
             .flatten()

@@ -436,6 +436,56 @@ fn forward_after_leaf_refresh_matches_a_freshly_recorded_tape() {
     }
 }
 
+/// Folded from the old `zz_review_probe.rs` standalone probe: an extra
+/// backward sneaking in **between** `refresh_leaf` and the forward
+/// replay — a stale-value sweep that packs gradient panels under the
+/// new epoch — must leave the gradients of the documented
+/// refresh → forward → backward order bitwise unchanged.
+#[test]
+fn backward_between_refresh_and_replay_then_backward_again() {
+    let build = |g: &mut Graph, x0: &Tensor| {
+        let x = g.leaf(x0.clone());
+        let w = g.leaf(rand_t([64, 64], 7));
+        let m = g.matmul(x, w).unwrap();
+        let sq = g.mul(m, m).unwrap();
+        let loss = g.sum_all(sq);
+        (x, w, loss)
+    };
+    let x_old = rand_t([64, 64], 1);
+    let x_new = rand_t([64, 64], 2);
+
+    for threads in THREADS {
+        // Reference: refresh -> forward -> backward (the documented
+        // order).
+        let mut a = Graph::new();
+        let (xa, wa, la) = build(&mut a, &x_old);
+        Runtime::new(threads).install(|| {
+            a.backward(la).unwrap();
+            a.refresh_leaf(xa, x_new.clone()).unwrap();
+            a.forward(la).unwrap();
+            a.backward(la).unwrap();
+        });
+
+        // Probe: the stale backward sneaks in between refresh and
+        // forward.
+        let mut b = Graph::new();
+        let (xb, wb, lb) = build(&mut b, &x_old);
+        Runtime::new(threads).install(|| {
+            b.backward(lb).unwrap();
+            b.refresh_leaf(xb, x_new.clone()).unwrap();
+            b.backward(lb).unwrap(); // stale-value sweep under the new epoch
+            b.forward(lb).unwrap();
+            b.backward(lb).unwrap();
+        });
+
+        assert_bits_eq(
+            b.grad(wb).unwrap(),
+            a.grad(wa).unwrap(),
+            &format!("stale-sweep probe w-grad, threads={threads}"),
+        );
+    }
+}
+
 /// A tiny deterministic PRNG for the proptest DAG builder (avoids
 /// depending on any particular `rand` API surface for integers).
 struct XorShift(u64);

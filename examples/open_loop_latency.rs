@@ -1,4 +1,4 @@
-//! Open-loop latency under Poisson and bursty arrivals.
+//! Open-loop latency under Poisson, bursty, and self-similar arrivals.
 //!
 //! Drives a [`ScoringService`] with the seeded open-loop load harness
 //! twice per arrival process and prints the per-round latency
@@ -6,6 +6,11 @@
 //! The harness contract — same seed ⇒ same arrival schedule and same
 //! shed decisions — is checked between the two runs; divergence exits
 //! non-zero (CI runs this as a smoke test).
+//!
+//! A second mode then drives `try_submit` against **service-side**
+//! admission control across a sweep of offered loads and prints the
+//! shed-rate vs offered-load table — the saturation curve the paper's
+//! overload story is about.
 //!
 //! Run: `cargo run --release --example open_loop_latency [-- <requests_per_round>]`
 //! (default 24).
@@ -15,7 +20,10 @@ use sdc::core::ContrastiveModel;
 use sdc::data::Sample;
 use sdc::nn::models::EncoderConfig;
 use sdc::obs::{AdmissionConfig, ArrivalProcess};
-use sdc::serve::{run_open_loop, LoadReport, LoadgenConfig, ScoringService, ServeConfig};
+use sdc::serve::{
+    run_open_loop, run_open_loop_admission, shed_rate_table, LoadReport, LoadgenConfig,
+    ScoringService, ServeConfig,
+};
 use sdc::tensor::Tensor;
 
 fn model() -> ContrastiveModel {
@@ -74,7 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let requests_per_round: usize =
         std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(24);
 
-    let modes: [(&str, ArrivalProcess); 2] = [
+    let modes: [(&str, ArrivalProcess); 3] = [
         ("poisson", ArrivalProcess::Poisson { mean_gap_nanos: 150_000 }),
         (
             "bursty",
@@ -83,6 +91,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 burst_gap_nanos: 15_000,
                 enter_burst: 0.25,
                 exit_burst: 0.15,
+            },
+        ),
+        (
+            "self-similar",
+            ArrivalProcess::SelfSimilar {
+                sources: 8,
+                alpha: 1.5,
+                on_gap_nanos: 60_000,
+                min_on_nanos: 200_000,
+                min_off_nanos: 400_000,
             },
         ),
     ];
@@ -107,5 +125,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!("  reproduced: second run matches schedule and shed decisions\n");
     }
+
+    // Service-side admission: the same schedule machinery, but every
+    // arrival goes through `try_submit` and the *service* decides —
+    // queue-full sheds at the bounded request channel, backlog sheds at
+    // the batcher's pending-samples bound. Sweeping the mean gap maps
+    // out shed rate vs offered load.
+    println!("service-side admission (try_submit), offered-load sweep:");
+    let mut reports = Vec::new();
+    for mean_gap_nanos in [400_000u64, 150_000, 60_000, 25_000] {
+        let config = LoadgenConfig {
+            seed: 42,
+            rounds: 3,
+            requests_per_round,
+            streams: 4,
+            process: ArrivalProcess::Poisson { mean_gap_nanos },
+            admission: AdmissionConfig { cost_nanos: 130_000, max_backlog_nanos: 500_000 },
+        };
+        let service = ScoringService::start(
+            model(),
+            ServeConfig {
+                queue_depth: 8,
+                max_pending: 64,
+                flush_deadline: std::time::Duration::from_millis(5),
+                ..ServeConfig::default()
+            },
+        );
+        reports.push(run_open_loop_admission(&service, &config, payload)?);
+    }
+    print!("{}", shed_rate_table(&reports));
     Ok(())
 }

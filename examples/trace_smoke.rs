@@ -1,0 +1,291 @@
+//! Trace smoke: export a real Chrome trace from a loopback node run.
+//!
+//! Starts a [`NodeServer`] over a two-replica scoring set, drives a
+//! handful of traced scoring requests through a [`NodeClient`], and
+//! exports the span collector as Chrome-trace JSON (load it at
+//! `chrome://tracing` or `ui.perfetto.dev`). The export is then
+//! checked the hard way — a dependency-free JSON parser validates the
+//! syntax, every event is checked for the complete-event shape, and
+//! the client → server → batcher span chain must be connected under
+//! one trace id. The `Stats` scrape reply is validated the same way.
+//! Any violation exits non-zero (CI runs this as a smoke test).
+//!
+//! Run: `cargo run --release --example trace_smoke [-- <out.json>]`
+//! (default `target/trace_smoke.json`).
+
+use std::sync::Arc;
+
+use sdc::core::model::ModelConfig;
+use sdc::core::ContrastiveModel;
+use sdc::data::Sample;
+use sdc::nn::models::EncoderConfig;
+use sdc::node::{NodeClient, NodeServer};
+use sdc::serve::{ReplicaSet, ServeConfig};
+use sdc::tensor::Tensor;
+
+fn model() -> ContrastiveModel {
+    ContrastiveModel::new(&ModelConfig {
+        encoder: EncoderConfig::tiny(),
+        projection_hidden: 16,
+        projection_dim: 8,
+        seed: 7,
+    })
+}
+
+fn payload(i: u64) -> Vec<Sample> {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(i);
+    (0..2).map(|j| Sample::new(Tensor::randn([3, 8, 8], 1.0, &mut rng), 0, i * 2 + j)).collect()
+}
+
+// ---------------------------------------------------------------------
+// A minimal recursive-descent JSON syntax checker (no external deps):
+// accepts exactly the RFC 8259 grammar, rejects trailing input. The
+// point is validating our *emitters*, so it only needs to say yes/no.
+// ---------------------------------------------------------------------
+
+struct JsonCheck<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonCheck<'a> {
+    fn validate(text: &'a str) -> Result<(), String> {
+        let mut p = Self { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), String> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", want as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.eat(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("bad object sep {other:?} at {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.eat(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("bad array sep {other:?} at {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        while let Some(c) = self.peek() {
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => {
+                    let esc = self.peek().ok_or("eof in escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                        b'u' => {
+                            for _ in 0..4 {
+                                let h = self.peek().ok_or("eof in \\u escape")?;
+                                if !h.is_ascii_hexdigit() {
+                                    return Err(format!("bad \\u digit at {}", self.pos));
+                                }
+                                self.pos += 1;
+                            }
+                        }
+                        _ => return Err(format!("bad escape at {}", self.pos)),
+                    }
+                }
+                0x00..=0x1F => return Err(format!("raw control byte in string at {}", self.pos)),
+                _ => {}
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if self.pos == start {
+            return Err(format!("empty number at {start}"));
+        }
+        Ok(())
+    }
+}
+
+fn fail(what: &str) -> ! {
+    eprintln!("trace smoke FAILED: {what}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "target/trace_smoke.json".into());
+    sdc::obs::set_trace_enabled(true);
+    sdc::obs::trace_collector().clear();
+
+    // A loopback node run: two replicas, one client, a few requests
+    // across a few streams — every request traced across the wire.
+    let replicas =
+        Arc::new(ReplicaSet::start(model(), ServeConfig { replicas: 2, ..ServeConfig::default() }));
+    let server = NodeServer::start(Arc::clone(&replicas)).expect("start server");
+    let client = NodeClient::connect(server.addr()).expect("connect");
+    for i in 0..6u64 {
+        let scores = client.score(i % 3, payload(i)).expect("remote score");
+        assert_eq!(scores.len(), 2, "two samples in, two scores out");
+    }
+    for i in 0..replicas.len() {
+        replicas.replica(i).quiesce().expect("quiesce replica");
+    }
+
+    // Export and validate the Chrome trace.
+    let spans = sdc::obs::trace_collector().snapshot();
+    let json = sdc::obs::chrome_trace_json(&spans);
+    if let Err(e) = JsonCheck::validate(&json) {
+        fail(&format!("chrome trace export is not valid JSON: {e}"));
+    }
+    if !json.trim_start().starts_with('[') {
+        fail("chrome trace export must be a JSON array");
+    }
+    for key in ["\"ph\": \"X\"", "\"ts\": ", "\"dur\": ", "\"args\": "] {
+        if !json.contains(key) {
+            fail(&format!("chrome trace events are missing {key}"));
+        }
+    }
+
+    // Connectivity: every client-side request span must have a server
+    // span child and a full batcher phase tree under one trace id.
+    let roots: Vec<_> = spans.iter().filter(|s| s.name == "node.client.request").collect();
+    if roots.len() != 6 {
+        fail(&format!("expected 6 client request spans, got {}", roots.len()));
+    }
+    for root in &roots {
+        let server_span = spans
+            .iter()
+            .find(|s| s.name == "node.server.request" && s.parent == Some(root.span))
+            .unwrap_or_else(|| fail("a client span has no server child"));
+        let request_span = spans
+            .iter()
+            .find(|s| s.name == "serve.request" && s.parent == Some(server_span.span))
+            .unwrap_or_else(|| fail("a server span has no replica request child"));
+        for phase in ["enqueue", "batch_assembly", "score", "reply"] {
+            let found = spans.iter().any(|s| {
+                s.name == format!("serve.phase.{phase}")
+                    && s.parent == Some(request_span.span)
+                    && s.trace == root.trace
+            });
+            if !found {
+                fail(&format!("request span lost its {phase} phase"));
+            }
+        }
+    }
+
+    // The scrape endpoint must answer live with valid JSON too.
+    let stats = client.stats().expect("stats scrape");
+    if let Err(e) = JsonCheck::validate(&stats) {
+        fail(&format!("stats scrape is not valid JSON: {e}"));
+    }
+    for key in ["\"metrics\"", "\"replicas\"", "\"counters\"", "\"node.frame.rx\""] {
+        if !stats.contains(key) {
+            fail(&format!("stats scrape is missing {key}"));
+        }
+    }
+
+    std::fs::write(&out_path, &json).expect("write trace file");
+    println!("trace smoke OK: {} spans across {} traces -> {out_path}", spans.len(), roots.len());
+}
